@@ -1,0 +1,404 @@
+// Package streamscale's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation (one testing.B target per artifact; see
+// DESIGN.md's per-experiment index). Each benchmark runs its experiment
+// once per iteration and reports the headline quantity as a custom metric,
+// printing the full table on the first iteration of a -v run.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// Absolute wall times are simulation costs, not the modelled system's
+// performance; the custom metrics carry the reproduced results.
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"streamscale/internal/apps"
+	"streamscale/internal/bench"
+	"streamscale/internal/engine"
+)
+
+// Expensive sweeps shared by multiple benchmark targets are cached.
+var (
+	studyMu       sync.Mutex
+	studyCells    []bench.CellResult
+	batchingRows  []bench.BatchingRow
+	placementRows []bench.PlacementRow
+)
+
+func batchingOnce(b *testing.B) []bench.BatchingRow {
+	b.Helper()
+	studyMu.Lock()
+	defer studyMu.Unlock()
+	if batchingRows == nil {
+		rows, err := bench.Batching()
+		if err != nil {
+			b.Fatal(err)
+		}
+		batchingRows = rows
+	}
+	return batchingRows
+}
+
+func placementOnce(b *testing.B) []bench.PlacementRow {
+	b.Helper()
+	studyMu.Lock()
+	defer studyMu.Unlock()
+	if placementRows == nil {
+		rows, err := bench.Placement()
+		if err != nil {
+			b.Fatal(err)
+		}
+		placementRows = rows
+	}
+	return placementRows
+}
+
+func singleSocket(b *testing.B) []bench.CellResult {
+	b.Helper()
+	studyMu.Lock()
+	defer studyMu.Unlock()
+	if studyCells == nil {
+		cells, err := bench.SingleSocketStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		studyCells = cells
+	}
+	return studyCells
+}
+
+func logOnce(b *testing.B, i int, table string) {
+	if i == 0 {
+		b.Logf("\n%s", table)
+	}
+}
+
+// BenchmarkFig6aThroughputSingleSocket regenerates Figure 6a. The reported
+// metric is word count's Storm throughput in k events/s.
+func BenchmarkFig6aThroughputSingleSocket(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := singleSocket(b)
+		logOnce(b, i, bench.Fig6aTable(cells))
+		for _, cr := range cells {
+			if cr.Cell.App == "wc" && cr.Cell.System == "storm" {
+				b.ReportMetric(cr.Res.Throughput().KPerSecond(), "wc-storm-kev/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6bStormScalability regenerates Figure 6b. The metric is FD's
+// 32-core throughput normalized to one core.
+func BenchmarkFig6bStormScalability(b *testing.B) { scalability(b, "storm") }
+
+// BenchmarkFig6cFlinkScalability regenerates Figure 6c.
+func BenchmarkFig6cFlinkScalability(b *testing.B) { scalability(b, "flink") }
+
+func scalability(b *testing.B, system string) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Scalability(system)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, res.Table())
+		fd := res.Normalized["fd"]
+		b.ReportMetric(fd[len(fd)-1]*100, "fd-32core-%")
+	}
+}
+
+// BenchmarkTable4Utilization regenerates Table IV. The metric is TM's CPU
+// utilization (the paper reports 98%).
+func BenchmarkTable4Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := singleSocket(b)
+		logOnce(b, i, bench.TableIV(cells))
+		for _, cr := range cells {
+			if cr.Cell.App == "tm" && cr.Cell.System == "storm" {
+				b.ReportMetric(cr.Res.CPUUtil*100, "tm-cpu-%")
+				b.ReportMetric(cr.Res.MemUtil*100, "tm-mem-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7Breakdown regenerates Figure 7. The metric is the mean stall
+// share across non-TM cells (the paper's ~70% finding).
+func BenchmarkFig7Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := singleSocket(b)
+		logOnce(b, i, bench.Fig7Table(cells))
+		var sum float64
+		n := 0
+		for _, cr := range cells {
+			if cr.Cell.App == "tm" {
+				continue
+			}
+			sum += 1 - cr.Res.Profile.Breakdown().Computation
+			n++
+		}
+		b.ReportMetric(sum/float64(n)*100, "mean-stall-%")
+	}
+}
+
+// BenchmarkFig8FrontEnd regenerates Figure 8. The metric is the mean L1I
+// share of front-end stalls (the paper: roughly half).
+func BenchmarkFig8FrontEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := singleSocket(b)
+		logOnce(b, i, bench.Fig8Table(cells))
+		var sum float64
+		n := 0
+		for _, cr := range cells {
+			if cr.Cell.App == "tm" {
+				continue
+			}
+			sum += cr.Res.Profile.FrontEnd().L1IMiss
+			n++
+		}
+		b.ReportMetric(sum/float64(n)*100, "mean-l1i-of-fe-%")
+	}
+}
+
+// BenchmarkFig9FootprintCDF regenerates Figure 9 for both systems. The
+// metrics are the storm and flink mean fractions of invocation gaps
+// exceeding the 32 KB L1I (the paper: 30-50% and 20-40%).
+func BenchmarkFig9FootprintCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sys := range bench.Systems {
+			rows, err := bench.FootprintCDF(sys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			logOnce(b, i, bench.Fig9Table(rows))
+			var sum float64
+			n := 0
+			for _, r := range rows {
+				if r.App == "null" {
+					continue
+				}
+				sum += r.OverL1I
+				n++
+			}
+			b.ReportMetric(sum/float64(n)*100, sys+"-over-l1i-%")
+		}
+	}
+}
+
+// BenchmarkTable5LLCMiss regenerates Table V. The metric is the mean
+// remote-LLC stall share across applications.
+func BenchmarkTable5LLCMiss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.TableV("storm")
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, bench.TableVTable("storm", rows))
+		var remote float64
+		for _, r := range rows {
+			remote += r.Remote
+		}
+		b.ReportMetric(remote/float64(len(rows))*100, "mean-remote-%")
+	}
+}
+
+// BenchmarkFig10Executors regenerates Figure 10 (both panels). The metric
+// is the latency growth from 32 to 56 Map-Matcher executors.
+func BenchmarkFig10Executors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, bench.Fig10Table(rows))
+		b.ReportMetric(rows[len(rows)-1].MeanLatencyMs/rows[0].MeanLatencyMs, "latency-growth-x")
+	}
+}
+
+// BenchmarkFig11BackEnd regenerates Figure 11. The metric is the mean DTLB
+// share of back-end stalls.
+func BenchmarkFig11BackEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := singleSocket(b)
+		logOnce(b, i, bench.Fig11Table(cells))
+		var sum float64
+		for _, cr := range cells {
+			sum += cr.Res.Profile.BackEnd().DTLB
+		}
+		b.ReportMetric(sum/float64(len(cells))*100, "mean-dtlb-of-be-%")
+	}
+}
+
+// BenchmarkFig12Batching regenerates Figures 12 and 13. The metric is the
+// best throughput gain at S=8 across cells.
+func BenchmarkFig12Batching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := batchingOnce(b)
+		logOnce(b, i, bench.Fig12Table(rows))
+		best := 0.0
+		for _, r := range rows {
+			if g := r.Throughput[len(r.Throughput)-1]; g > best {
+				best = g
+			}
+		}
+		b.ReportMetric(best, "best-s8-gain-x")
+	}
+}
+
+// BenchmarkFig13BatchingLatency regenerates the latency panel of the
+// batching study. The metric is the worst latency growth at S=8.
+func BenchmarkFig13BatchingLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := batchingOnce(b)
+		logOnce(b, i, bench.Fig13Table(rows))
+		worst := 0.0
+		for _, r := range rows {
+			if g := r.Latency[len(r.Latency)-1]; g > worst {
+				worst = g
+			}
+		}
+		b.ReportMetric(worst, "worst-s8-latency-x")
+	}
+}
+
+// BenchmarkFig14Placement regenerates Figures 14 and 15. The metrics are
+// the best placement-only and combined gains over the unoptimized
+// four-socket baseline.
+func BenchmarkFig14Placement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := placementOnce(b)
+		logOnce(b, i, bench.Fig14Table(rows)+"\n"+bench.Fig15Table(rows))
+		bestPlace, bestComb := 0.0, 0.0
+		for _, r := range rows {
+			if r.Placed > bestPlace {
+				bestPlace = r.Placed
+			}
+			if r.Combined > bestComb {
+				bestComb = r.Combined
+			}
+		}
+		b.ReportMetric(bestPlace, "best-placed-x")
+		b.ReportMetric(bestComb, "best-combined-x")
+	}
+}
+
+// BenchmarkFig15Combined is an alias target for the combined-optimization
+// artifact (the work is shared with BenchmarkFig14Placement; this target
+// reports WC's combined gain specifically).
+func BenchmarkFig15Combined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := placementOnce(b)
+		logOnce(b, i, bench.Fig15Table(rows))
+		for _, r := range rows {
+			if r.App == "lr" && r.System == "storm" {
+				b.ReportMetric(r.Combined, "lr-storm-combined-x")
+			}
+		}
+	}
+}
+
+// BenchmarkGCOverhead is the §V-D collector ablation. The metric is the
+// parallelGC-to-G1 overhead ratio for word count on Storm.
+func BenchmarkGCOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.GCStudy(apps.BenchmarkNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, bench.GCTable(rows))
+		for _, r := range rows {
+			if r.App == "wc" && r.System == "storm" && r.G1Share > 0 {
+				b.ReportMetric(r.ParShare/r.G1Share, "pargc-vs-g1-x")
+			}
+		}
+	}
+}
+
+// BenchmarkHugePages is the §V-D huge-pages ablation. The metric is the
+// mean speedup (the paper: marginal).
+func BenchmarkHugePages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.HugePages(apps.BenchmarkNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, bench.HugePagesTable(rows))
+		var sum float64
+		for _, r := range rows {
+			sum += r.Speedup
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean-speedup-x")
+	}
+}
+
+// BenchmarkPlacementAblation compares min-k-cut placement against
+// round-robin on communication-heavy applications.
+func BenchmarkPlacementAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.PlacementAblation([]string{"vs", "lr"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, bench.PlacementAblationTable(rows))
+		var kcut, rr float64
+		for _, r := range rows {
+			kcut += r.MinKCut
+			rr += r.RoundRobin
+		}
+		b.ReportMetric(kcut/rr, "kcut-vs-roundrobin-x")
+	}
+}
+
+// BenchmarkEngineNativeWC measures the native (goroutine) runtime itself:
+// real word-count throughput on the host machine.
+func BenchmarkEngineNativeWC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		topo, err := apps.Build("wc", apps.Config{Events: 2000, Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := engine.RunNative(topo, engine.NativeConfig{
+			System: engine.Flink(), BatchSize: 8, Seed: int64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Throughput().KPerSecond(), "kev/s")
+	}
+}
+
+// BenchmarkChainingAblation measures Flink-style operator chaining on SD
+// (the benchmark's one chainable hop). The metric is the chained/unchained
+// throughput ratio.
+func BenchmarkChainingAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.ChainingAblation([]string{"sd"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, bench.ChainingTable(rows))
+		best := 0.0
+		for _, r := range rows {
+			if r.Gain > best {
+				best = r.Gain
+			}
+		}
+		b.ReportMetric(best, "best-chain-gain-x")
+	}
+}
+
+// BenchmarkSustainableThroughput finds the highest open-loop rate word
+// count sustains with p99 <= 5 ms. The metric is sustainable/peak.
+func BenchmarkSustainableThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Sustainable("wc", "flink", 5.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, bench.SustainableTable([]*bench.SustainableResult{r}))
+		b.ReportMetric(r.SustainableKps/r.PeakKps, "sustainable-frac")
+	}
+}

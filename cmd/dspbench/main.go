@@ -1,0 +1,119 @@
+// Command dspbench runs one benchmark application on the simulated
+// multi-socket machine and reports throughput, latency, utilization, and
+// the processor-time profile.
+//
+// Usage:
+//
+//	dspbench -app wc -system storm -sockets 1 -batch 1
+//	dspbench -app tm -system flink -sockets 4 -scale 4 -events 600
+//	dspbench -app lr -system storm -sockets 4 -batch 8 -place
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamscale/internal/apps"
+	"streamscale/internal/bench"
+	"streamscale/internal/core"
+	"streamscale/internal/engine"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "wc", "application: "+fmt.Sprint(apps.Names()))
+		system  = flag.String("system", "storm", "engine profile: storm | flink")
+		sockets = flag.Int("sockets", 1, "enabled CPU sockets (1-4)")
+		cores   = flag.Int("cores", 0, "restrict to the first N cores (0 = all enabled sockets)")
+		batch   = flag.Int("batch", 1, "tuple batch size S (1 = no batching)")
+		events  = flag.Int("events", 0, "source events (0 = app default)")
+		scale   = flag.Int("scale", 1, "parallelism scale factor")
+		seed    = flag.Int64("seed", 1, "random seed")
+		place   = flag.Bool("place", false, "apply NUMA-aware executor placement (best plan by Eq. 1 cost)")
+		profile = flag.Bool("profile", true, "print the Table II processor-time breakdown")
+		native  = flag.Bool("native", false, "run on the native goroutine runtime (real wall-clock, no processor model)")
+	)
+	flag.Parse()
+
+	if *native {
+		runNative(*app, *system, *batch, *events, *scale, *seed)
+		return
+	}
+
+	cell := bench.Cell{
+		App: *app, System: *system,
+		Sockets: *sockets, Cores: *cores,
+		BatchSize: *batch, Seed: *seed, Scale: *scale,
+	}
+	if *events > 0 {
+		if def := cell.Events(); def > 0 {
+			cell.EventScale = float64(*events) / float64(def)
+		}
+	}
+	if *place {
+		topo, err := cell.Topology()
+		fail(err)
+		sys := engine.Storm()
+		if *system == "flink" {
+			sys = engine.Flink()
+		}
+		plans, err := core.PlanFor(topo, sys, *sockets, core.PlaceOptions{
+			CoresPerSocket: 8, Oversubscribe: 1.5, Balanced: true,
+		})
+		fail(err)
+		best := plans[len(plans)-1] // largest k among feasible balanced plans
+		cell.Placement = best.Placement()
+		fmt.Printf("placement: k=%d, estimated cross-socket cost %.1f\n", best.K, best.Cost)
+	}
+
+	res, err := bench.Run(cell)
+	fail(err)
+
+	fmt.Printf("%s on %s: %d sockets, batch S=%d\n", *app, *system, *sockets, *batch)
+	fmt.Printf("  throughput   %10.1f k events/s  (%d events in %.3f s simulated)\n",
+		res.Throughput().KPerSecond(), res.SourceEvents, res.ElapsedSeconds)
+	fmt.Printf("  latency      p50 %.2f ms   p99 %.2f ms   mean %.2f ms\n",
+		res.Latency.Quantile(0.5), res.Latency.Quantile(0.99), res.Latency.Mean())
+	fmt.Printf("  utilization  cpu %.0f%%   memory bandwidth %.0f%%\n", res.CPUUtil*100, res.MemUtil*100)
+	fmt.Printf("  gc           %d minor collections, %.1f%% of time\n", res.MinorGCs, res.GCShare*100)
+	if res.AckerCompleted > 0 {
+		fmt.Printf("  acker        %d/%d tuple trees completed\n", res.AckerCompleted, res.SourceEvents)
+	}
+	if *profile {
+		fmt.Printf("\n%s\n", res.Profile.String())
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dspbench:", err)
+		os.Exit(1)
+	}
+}
+
+// runNative executes the cell on the real goroutine runtime and reports
+// host wall-clock performance.
+func runNative(app, system string, batch, events, scale int, seed int64) {
+	if events <= 0 {
+		events = 5000
+	}
+	topo, err := apps.Build(app, apps.Config{Events: events, Seed: seed, Scale: scale})
+	fail(err)
+	sys := engine.Storm()
+	if system == "flink" {
+		sys = engine.Flink()
+	}
+	res, err := engine.RunNative(topo, engine.NativeConfig{
+		System: sys, BatchSize: batch, Seed: seed,
+	})
+	fail(err)
+	fmt.Printf("%s on %s (native runtime, this host)\n", app, system)
+	fmt.Printf("  throughput   %10.1f k events/s  (%d events in %.1f ms wall)\n",
+		res.Throughput().KPerSecond(), res.SourceEvents, res.ElapsedSeconds*1e3)
+	fmt.Printf("  latency      p50 %.3f ms   p99 %.3f ms\n",
+		res.Latency.Quantile(0.5), res.Latency.Quantile(0.99))
+	if res.AckerCompleted > 0 {
+		fmt.Printf("  acker        %d/%d tuple trees completed\n", res.AckerCompleted, res.SourceEvents)
+	}
+}

@@ -1,0 +1,67 @@
+// Command dspmachine validates the simulated machine model: it prints the
+// Table III specification and runs lmbench-style microbenchmarks against
+// the model — load-to-use latency per working-set size (local and remote)
+// and streaming bandwidth per core count — so the modelled hierarchy can
+// be compared against real Sandy Bridge EP measurements.
+//
+// Usage:
+//
+//	dspmachine
+//	dspmachine -hugepages
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"streamscale/internal/hw"
+)
+
+func main() {
+	huge := flag.Bool("hugepages", false, "use 2 MB pages")
+	flag.Parse()
+
+	spec := hw.TableIII()
+	if *huge {
+		spec = spec.WithHugePages()
+	}
+
+	fmt.Printf("machine: %d sockets x %d cores @ %.1f GHz (Table III)\n",
+		spec.Sockets, spec.CoresPerSocket, float64(spec.ClockHz)/1e9)
+	fmt.Printf("caches:  L1I %dK  L1D %dK  L2 %dK per core; LLC %dM per socket\n",
+		spec.L1I.CapacityBytes>>10, spec.L1D.CapacityBytes>>10,
+		spec.L2.CapacityBytes>>10, spec.LLC.CapacityBytes>>20)
+	fmt.Printf("latency: L2 %d  LLC %d  DRAM %d  remote %d cycles; pages %d B\n",
+		spec.Latency.L2, spec.Latency.LLC, spec.Latency.LocalDRAM,
+		spec.Latency.RemoteDRAM, spec.PageBytes)
+	fmt.Printf("bandwidth: %.1f GB/s DRAM per socket, %.1f GB/s per QPI direction\n\n",
+		spec.LocalBWBytesPerCycle*float64(spec.ClockHz)/1e9,
+		spec.QPIBWBytesPerCycle*float64(spec.ClockHz)/1e9)
+
+	fmt.Println("load-to-use latency by working set (cycles per line, warm):")
+	fmt.Printf("%-14s %12s %10s %12s\n", "working set", "local", "level", "remote")
+	local := hw.MeasureLatency(hw.NewMachine(spec), 64<<20)
+	remote := hw.MeasureRemoteLatency(hw.NewMachine(spec), 64<<20)
+	for i := range local {
+		fmt.Printf("%-14s %12.1f %10s %12.1f\n",
+			byteLabel(local[i].WorkingSetBytes), local[i].Cycles, local[i].Level, remote[i].Cycles)
+	}
+
+	fmt.Println("\nstreaming bandwidth (GB/s aggregate):")
+	fmt.Printf("%-10s %10s %10s\n", "streams", "local", "remote")
+	for _, n := range []int{1, 2, 4, 8} {
+		l := hw.MeasureBandwidth(hw.NewMachine(spec), n, false)
+		r := hw.MeasureBandwidth(hw.NewMachine(spec), n, true)
+		fmt.Printf("%-10d %10.1f %10.1f\n", n, l.GBps, r.GBps)
+	}
+}
+
+func byteLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%d MB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%d KB", n>>10)
+	}
+	return fmt.Sprintf("%d B", n)
+}

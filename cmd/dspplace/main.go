@@ -1,0 +1,87 @@
+// Command dspplace computes NUMA-aware executor placements for a benchmark
+// application: it builds the communication graph (Definition 4), solves the
+// capacity-constrained min-k-cut for k = 1..sockets, and prints each plan
+// with its Equation 1 cross-socket communication cost.
+//
+// Usage:
+//
+//	dspplace -app lr -system storm -sockets 4
+//	dspplace -app wc -system flink -sockets 2 -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamscale/internal/apps"
+	"streamscale/internal/core"
+	"streamscale/internal/engine"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "wc", "application: "+fmt.Sprint(apps.Names()))
+		system  = flag.String("system", "storm", "engine profile: storm | flink")
+		sockets = flag.Int("sockets", 4, "socket count to plan for")
+		scale   = flag.Int("scale", 1, "parallelism scale factor")
+		verbose = flag.Bool("verbose", false, "print per-executor assignments")
+	)
+	flag.Parse()
+
+	topo, err := apps.Build(*app, apps.Config{Events: 1000, Seed: 1, Scale: *scale})
+	fail(err)
+	sys := engine.Storm()
+	if *system == "flink" {
+		sys = engine.Flink()
+	}
+
+	g, err := core.BuildCommGraph(topo, sys)
+	fail(err)
+	fmt.Printf("%s/%s: %d executors, total communication weight %.2f\n",
+		*app, *system, g.N(), g.TotalWeight())
+
+	for _, balanced := range []bool{false, true} {
+		mode := "capacity-capped"
+		if balanced {
+			mode = "balanced"
+		}
+		plans, err := core.Plans(g, *sockets, core.PlaceOptions{
+			CoresPerSocket: 8, Oversubscribe: 1.5, Balanced: balanced,
+		})
+		if err != nil {
+			fmt.Printf("  %s: %v\n", mode, err)
+			continue
+		}
+		fmt.Printf("\n%s plans:\n", mode)
+		for _, p := range plans {
+			fmt.Printf("  k=%d  cost=%10.2f  (%.0f%% of total weight cut)\n",
+				p.K, p.Cost, 100*p.Cost/maxf(g.TotalWeight(), 1e-9))
+			if *verbose {
+				counts := map[int][]string{}
+				for v, s := range p.Assign {
+					counts[s] = append(counts[s], g.Names[v])
+				}
+				for s := 0; s < p.K; s++ {
+					fmt.Printf("    socket %d: %v\n", s, counts[s])
+				}
+			}
+		}
+	}
+	rr := core.RoundRobinPlan(g, *sockets)
+	fmt.Printf("\nround-robin baseline: cost=%.2f\n", rr.Cost)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dspplace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+// Command dspprofile runs one application cell and prints the full
+// Table II processor-time account: per-bucket cycles, the Figure 7/8/11
+// breakdowns, the instruction-footprint CDF, and per-executor statistics.
+//
+// Usage:
+//
+//	dspprofile -app wc -system storm
+//	dspprofile -app tm -system flink -sockets 4 -scale 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"streamscale/internal/apps"
+	"streamscale/internal/bench"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "wc", "application: "+fmt.Sprint(apps.Names()))
+		system  = flag.String("system", "storm", "engine profile: storm | flink")
+		sockets = flag.Int("sockets", 1, "enabled CPU sockets")
+		batch   = flag.Int("batch", 1, "tuple batch size S")
+		scale   = flag.Int("scale", 1, "parallelism scale factor")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	res, err := bench.Run(bench.Cell{
+		App: *app, System: *system, Sockets: *sockets,
+		BatchSize: *batch, Seed: *seed, Scale: *scale,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dspprofile:", err)
+		os.Exit(1)
+	}
+
+	p := res.Profile
+	fmt.Printf("%s/%s: %.1f k events/s over %.3f simulated seconds\n\n",
+		*app, *system, res.Throughput().KPerSecond(), res.ElapsedSeconds)
+
+	fmt.Println("Table II components (cycles, descending):")
+	for _, b := range p.SortedBuckets() {
+		if p.Costs[b] == 0 {
+			continue
+		}
+		fmt.Printf("  %-22s %14d  %5.1f%%\n", b, p.Costs[b], p.Share(b)*100)
+	}
+	fmt.Printf("  %-22s %14d\n\n", "total", p.Total())
+	fmt.Println(p.String())
+
+	fmt.Println("\ninstruction footprint CDF:")
+	for _, pt := range p.FootprintCDF([]int{1 << 10, 8 << 10, 32 << 10, 256 << 10, 1 << 20, 16 << 20}) {
+		fmt.Printf("  <= %8d B: %5.1f%%\n", pt.Bytes, pt.Fraction*100)
+	}
+
+	fmt.Println("\nper-operator breakdown (share of the operator's own cycles):")
+	ops := make([]string, 0, len(res.OperatorProfiles))
+	for op := range res.OperatorProfiles {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		return res.OperatorProfiles[ops[i]].Total() > res.OperatorProfiles[ops[j]].Total()
+	})
+	for _, op := range ops {
+		pr := res.OperatorProfiles[op]
+		bd := pr.Breakdown()
+		fmt.Printf("  %-24s %5.1f%% of cycles | comp %4.1f%% fe %4.1f%% be %4.1f%%\n",
+			op, 100*float64(pr.Total())/float64(p.Total()),
+			bd.Computation*100, bd.FrontEnd*100, bd.BackEnd*100)
+	}
+
+	fmt.Println("\nper-executor statistics:")
+	for _, e := range res.Executors {
+		if e.Tuples == 0 {
+			continue
+		}
+		fmt.Printf("  %-24s socket %d  %8d tuples  %8.3f ms/event\n",
+			fmt.Sprintf("%s[%d]", e.Op, e.Index), e.Socket, e.Tuples, e.MeanTupleMs)
+	}
+}

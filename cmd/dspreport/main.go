@@ -1,0 +1,290 @@
+// Command dspreport regenerates the paper's tables and figures on the
+// simulated Table III machine. Without arguments it runs every experiment;
+// -experiment selects one by ID (see DESIGN.md's per-experiment index).
+//
+// Usage:
+//
+//	dspreport                      # everything (several minutes)
+//	dspreport -experiment fig7     # one artifact
+//	dspreport -list                # available experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"streamscale/internal/apps"
+	"streamscale/internal/bench"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func() (string, error)
+}
+
+func experiments() []experiment {
+	var study []bench.CellResult
+	singleSocket := func() ([]bench.CellResult, error) {
+		if study == nil {
+			cells, err := bench.SingleSocketStudy()
+			if err != nil {
+				return nil, err
+			}
+			study = cells
+		}
+		return study, nil
+	}
+	fromStudy := func(f func([]bench.CellResult) string) func() (string, error) {
+		return func() (string, error) {
+			cells, err := singleSocket()
+			if err != nil {
+				return "", err
+			}
+			return f(cells), nil
+		}
+	}
+	return []experiment{
+		{"fig6a", "throughput per application, single socket", fromStudy(bench.Fig6aTable)},
+		{"fig6b", "Storm scalability over cores and sockets", func() (string, error) {
+			r, err := bench.Scalability("storm")
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		}},
+		{"fig6c", "Flink scalability over cores and sockets", func() (string, error) {
+			r, err := bench.Scalability("flink")
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		}},
+		{"table4", "CPU and memory bandwidth utilization", fromStudy(bench.TableIV)},
+		{"fig7", "execution time breakdown", fromStudy(bench.Fig7Table)},
+		{"fig8", "front-end stall breakdown", fromStudy(bench.Fig8Table)},
+		{"fig9", "instruction footprint CDF (both systems)", func() (string, error) {
+			s, err := bench.FootprintCDF("storm")
+			if err != nil {
+				return "", err
+			}
+			f, err := bench.FootprintCDF("flink")
+			if err != nil {
+				return "", err
+			}
+			return bench.Fig9Table(s) + "\n" + bench.Fig9Table(f), nil
+		}},
+		{"table5", "LLC miss stalls on four sockets", func() (string, error) {
+			rows, err := bench.TableV("storm")
+			if err != nil {
+				return "", err
+			}
+			return bench.TableVTable("storm", rows), nil
+		}},
+		{"fig10", "TM Map-Matcher executor sweep", func() (string, error) {
+			rows, err := bench.Fig10()
+			if err != nil {
+				return "", err
+			}
+			return bench.Fig10Table(rows), nil
+		}},
+		{"fig11", "back-end stall breakdown", fromStudy(bench.Fig11Table)},
+		{"fig12", "tuple batching: throughput", func() (string, error) {
+			rows, err := bench.Batching()
+			if err != nil {
+				return "", err
+			}
+			return bench.Fig12Table(rows) + "\n" + bench.Fig13Table(rows), nil
+		}},
+		{"fig14", "NUMA-aware placement and combined optimizations", func() (string, error) {
+			rows, err := bench.Placement()
+			if err != nil {
+				return "", err
+			}
+			return bench.Fig14Table(rows) + "\n" + bench.Fig15Table(rows), nil
+		}},
+		{"gc", "G1 vs parallelGC overhead (§V-D)", func() (string, error) {
+			rows, err := bench.GCStudy(apps.BenchmarkNames())
+			if err != nil {
+				return "", err
+			}
+			return bench.GCTable(rows), nil
+		}},
+		{"hugepages", "huge-pages TLB ablation (§V-D)", func() (string, error) {
+			rows, err := bench.HugePages(apps.BenchmarkNames())
+			if err != nil {
+				return "", err
+			}
+			return bench.HugePagesTable(rows), nil
+		}},
+		{"placement-ablation", "min-k-cut vs round-robin placement", func() (string, error) {
+			rows, err := bench.PlacementAblation([]string{"wc", "vs", "lr"})
+			if err != nil {
+				return "", err
+			}
+			return bench.PlacementAblationTable(rows), nil
+		}},
+		{"load-latency", "extension: open-loop latency vs offered load", func() (string, error) {
+			out := ""
+			for _, sys := range []string{"storm", "flink"} {
+				rows, err := bench.LoadLatency("wc", sys, 1)
+				if err != nil {
+					return "", err
+				}
+				out += bench.LoadLatencyTable("wc", sys, rows) + "\n"
+			}
+			return out, nil
+		}},
+		{"sustainable", "extension: sustainable throughput under a p99 bound", func() (string, error) {
+			var rows []*bench.SustainableResult
+			for _, sys := range []string{"storm", "flink"} {
+				r, err := bench.Sustainable("wc", sys, 5.0)
+				if err != nil {
+					return "", err
+				}
+				rows = append(rows, r)
+			}
+			return bench.SustainableTable(rows), nil
+		}},
+		{"chaining-ablation", "extension: Flink-style operator chaining on/off", func() (string, error) {
+			rows, err := bench.ChainingAblation([]string{"sd", "wc", "fd"})
+			if err != nil {
+				return "", err
+			}
+			return bench.ChainingTable(rows), nil
+		}},
+		{"uopcache-ablation", "decoded-µop cache on/off (§V-B)", func() (string, error) {
+			rows, err := bench.UopCacheAblation(apps.BenchmarkNames())
+			if err != nil {
+				return "", err
+			}
+			return bench.UopCacheTable(rows), nil
+		}},
+	}
+}
+
+// writeCSVs runs the main sweeps and writes plot-ready CSV files into dir.
+func writeCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	save := func(name string, fill func(w *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, bench.CSVName(name)))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fill(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", f.Name())
+		return nil
+	}
+
+	cells, err := bench.SingleSocketStudy()
+	if err != nil {
+		return err
+	}
+	if err := save("fig6a", func(w *os.File) error { return bench.Fig6aCSV(w, cells) }); err != nil {
+		return err
+	}
+	if err := save("fig7", func(w *os.File) error { return bench.BreakdownCSV(w, cells) }); err != nil {
+		return err
+	}
+	if err := save("table4", func(w *os.File) error { return bench.UtilizationCSV(w, cells) }); err != nil {
+		return err
+	}
+	for _, sys := range bench.Systems {
+		sc, err := bench.Scalability(sys)
+		if err != nil {
+			return err
+		}
+		if err := save("fig6bc_"+sys, func(w *os.File) error { return bench.ScalabilityCSV(w, sc) }); err != nil {
+			return err
+		}
+		fp, err := bench.FootprintCDF(sys)
+		if err != nil {
+			return err
+		}
+		if err := save("fig9_"+sys, func(w *os.File) error { return bench.FootprintCSV(w, fp) }); err != nil {
+			return err
+		}
+	}
+	tv, err := bench.TableV("storm")
+	if err != nil {
+		return err
+	}
+	if err := save("table5", func(w *os.File) error { return bench.TableVCSV(w, "storm", tv) }); err != nil {
+		return err
+	}
+	f10, err := bench.Fig10()
+	if err != nil {
+		return err
+	}
+	if err := save("fig10", func(w *os.File) error { return bench.Fig10CSV(w, f10) }); err != nil {
+		return err
+	}
+	batching, err := bench.Batching()
+	if err != nil {
+		return err
+	}
+	if err := save("fig12_13", func(w *os.File) error { return bench.BatchingCSV(w, batching) }); err != nil {
+		return err
+	}
+	placement, err := bench.Placement()
+	if err != nil {
+		return err
+	}
+	return save("fig14_15", func(w *os.File) error { return bench.PlacementCSV(w, placement) })
+}
+
+func main() {
+	var (
+		pick   = flag.String("experiment", "", "experiment ID to run (default: all)")
+		list   = flag.Bool("list", false, "list experiment IDs")
+		csvDir = flag.String("csv", "", "also write plot-ready CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "dspreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	exps := experiments()
+	if *list {
+		ids := make([]string, 0, len(exps))
+		for _, e := range exps {
+			ids = append(ids, fmt.Sprintf("  %-20s %s", e.id, e.desc))
+		}
+		sort.Strings(ids)
+		fmt.Println("experiments:")
+		for _, l := range ids {
+			fmt.Println(l)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range exps {
+		if *pick != "" && e.id != *pick {
+			continue
+		}
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dspreport: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", out)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "dspreport: unknown experiment %q (try -list)\n", *pick)
+		os.Exit(1)
+	}
+}

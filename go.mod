@@ -1,0 +1,3 @@
+module streamscale
+
+go 1.22

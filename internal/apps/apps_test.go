@@ -1,0 +1,220 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"streamscale/internal/engine"
+)
+
+func TestRegistryBuildsAll(t *testing.T) {
+	for _, name := range Names() {
+		topo, err := Build(name, Config{Events: 10, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("%s topology invalid: %v", name, err)
+		}
+	}
+	if _, err := Build("nosuch", Config{}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestBenchmarkNamesAreSeven(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 7 {
+		t.Fatalf("benchmark apps = %d, want 7", len(names))
+	}
+	for _, n := range names {
+		if _, err := Build(n, Config{Events: 5}); err != nil {
+			t.Fatalf("benchmark app %s missing: %v", n, err)
+		}
+	}
+}
+
+// Every app must run end-to-end on both runtimes under both system
+// profiles without stalling, and Storm acking must fully complete.
+func TestAppsRunEndToEnd(t *testing.T) {
+	for _, name := range BenchmarkNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			events := 300
+			if name == "tm" {
+				events = 40 // heavy per-event cost
+			}
+			topo, err := Build(name, Config{Events: events, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nat, err := engine.RunNative(topo, engine.NativeConfig{System: engine.Storm(), Seed: 11})
+			if err != nil {
+				t.Fatalf("native: %v", err)
+			}
+			if nat.SourceEvents == 0 {
+				t.Fatal("native run emitted nothing")
+			}
+			if nat.AckerCompleted != nat.SourceEvents {
+				t.Fatalf("native acking incomplete: %d of %d", nat.AckerCompleted, nat.SourceEvents)
+			}
+
+			topo2, _ := Build(name, Config{Events: events, Seed: 11})
+			sim, err := engine.RunSim(topo2, engine.SimConfig{System: engine.Flink(), Seed: 11, Sockets: 1})
+			if err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+			if sim.SourceEvents != nat.SourceEvents {
+				t.Fatalf("source events differ: native %d, sim %d", nat.SourceEvents, sim.SourceEvents)
+			}
+			if sim.Profile.Total() == 0 {
+				t.Fatal("sim charged no cycles")
+			}
+		})
+	}
+}
+
+// Sim and native runtimes must deliver identical sink tuple counts for the
+// same seed: the runtimes change performance, never semantics.
+func TestSimNativeSemanticEquivalence(t *testing.T) {
+	for _, name := range []string{"wc", "fd", "sd", "lg", "lr"} {
+		topoN, _ := Build(name, Config{Events: 200, Seed: 21})
+		topoS, _ := Build(name, Config{Events: 200, Seed: 21})
+		nat, err := engine.RunNative(topoN, engine.NativeConfig{System: engine.Flink(), Seed: 21})
+		if err != nil {
+			t.Fatalf("%s native: %v", name, err)
+		}
+		sim, err := engine.RunSim(topoS, engine.SimConfig{System: engine.Flink(), Seed: 21})
+		if err != nil {
+			t.Fatalf("%s sim: %v", name, err)
+		}
+		if nat.SinkEvents != sim.SinkEvents {
+			t.Fatalf("%s: sink events native %d != sim %d", name, nat.SinkEvents, sim.SinkEvents)
+		}
+	}
+}
+
+func TestWordCountReference(t *testing.T) {
+	cfg := Config{Events: 150, Seed: 33}
+	ref := WCReferenceCounts(cfg)
+	if len(ref) == 0 {
+		t.Fatal("empty reference")
+	}
+	var total int64
+	for _, c := range ref {
+		total += c
+	}
+	if total != int64(150*wcWordsPerSentence) {
+		t.Fatalf("reference words = %d, want %d", total, 150*wcWordsPerSentence)
+	}
+	// The sink receives one update per word processed.
+	topo := WordCount(cfg)
+	res, err := engine.RunNative(topo, engine.NativeConfig{System: engine.Flink(), Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SinkEvents != total {
+		t.Fatalf("sink events = %d, want %d", res.SinkEvents, total)
+	}
+}
+
+func TestGeoLocateDeterministicAndBounded(t *testing.T) {
+	c1, city1 := GeoLocate("10.1.2.3")
+	c2, city2 := GeoLocate("10.1.2.3")
+	if c1 != c2 || city1 != city2 {
+		t.Fatal("GeoLocate not deterministic")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		c, _ := GeoLocate(string(rune('a'+i%26)) + string(rune('0'+i%10)))
+		seen[c] = true
+	}
+	if len(seen) < 20 || len(seen) > lgCountries {
+		t.Fatalf("country spread = %d", len(seen))
+	}
+}
+
+func TestLRTollOracle(t *testing.T) {
+	if LRToll(30, 80, false) != 2*30*30 {
+		t.Fatalf("congested toll = %d, want 1800", LRToll(30, 80, false))
+	}
+	if LRToll(30, 80, true) != 0 {
+		t.Fatal("toll assessed despite accident")
+	}
+	if LRToll(55, 80, false) != 0 {
+		t.Fatal("toll assessed despite free flow")
+	}
+	if LRToll(30, 20, false) != 0 {
+		t.Fatal("toll assessed despite low occupancy")
+	}
+	if LRToll(0, 80, false) != 0 {
+		t.Fatal("toll assessed with no speed data")
+	}
+}
+
+func TestDecayingBloomFilter(t *testing.T) {
+	f := NewDecayingBloomFilter(1024, 3, 100)
+	f.Advance(0)
+	for i := 0; i < 10; i++ {
+		f.Add("spammer", 1)
+	}
+	if got := f.Estimate("spammer"); got < 9.5 {
+		t.Fatalf("estimate = %v, want ~10", got)
+	}
+	if got := f.Estimate("quiet"); got > 1 {
+		t.Fatalf("unseen key estimate = %v, want ~0", got)
+	}
+	// After one half-life the estimate halves.
+	f.Advance(100)
+	got := f.Estimate("spammer")
+	if got < 4 || got > 6 {
+		t.Fatalf("post-half-life estimate = %v, want ~5", got)
+	}
+	// Decay continues monotonically.
+	f.Advance(1000)
+	if late := f.Estimate("spammer"); late >= got {
+		t.Fatalf("estimate did not keep decaying: %v -> %v", got, late)
+	}
+}
+
+func TestBloomFilterMinSemantic(t *testing.T) {
+	f := NewDecayingBloomFilter(64, 4, 1000) // tiny: collisions certain
+	f.Advance(1)
+	for i := 0; i < 50; i++ {
+		f.Add(string(rune('a'+i%26))+"x", 1)
+	}
+	// Minimum-cell estimates never go below zero and unadded keys stay
+	// bounded by collision noise.
+	if f.Estimate("zzz-unseen") < 0 {
+		t.Fatal("negative estimate")
+	}
+}
+
+// VS end-to-end: spammers should dominate the sink output. The sim runtime
+// is single-threaded, so the interceptor sink needs no locking.
+func TestVoIPSpamFlagsSpammers(t *testing.T) {
+	topo := VoIPSpam(Config{Events: 4000, Seed: 5})
+	flagged := map[string]bool{}
+	topo.Node("sink").NewOp = func() engine.Operator {
+		return engine.ProcessFunc(func(_ engine.Context, tp engine.Tuple) {
+			flagged[tp.Values[0].(string)] = true
+		})
+	}
+	if _, err := engine.RunSim(topo, engine.SimConfig{System: engine.Flink(), Seed: 5, Sockets: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(flagged) == 0 {
+		t.Fatal("no numbers flagged")
+	}
+	spam := 0
+	for num := range flagged {
+		var id int
+		if _, err := fmt.Sscanf(num, "+65%08d", &id); err == nil && id < vsSpammers {
+			spam++
+		}
+	}
+	precision := float64(spam) / float64(len(flagged))
+	if precision < 0.6 {
+		t.Fatalf("spam precision = %.2f (%d of %d), want >= 0.6", precision, spam, len(flagged))
+	}
+}

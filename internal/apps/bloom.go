@@ -1,0 +1,78 @@
+package apps
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// DecayingBloomFilter is an on-demand time-decaying Bloom filter (Bianchi
+// et al., CCR 2011), the data structure the VoIP spam-detection modules
+// keep their per-number history in. Cells hold real values that decay
+// exponentially with stream time; Add refreshes a key's cells toward 1 and
+// Estimate reads the minimum surviving cell value.
+type DecayingBloomFilter struct {
+	cells  []float64
+	stamps []int64
+	hashes int
+	// beta is the per-time-unit decay factor.
+	beta float64
+	now  int64
+}
+
+// NewDecayingBloomFilter creates a filter with the given cell count, hash
+// count, and half-life in stream time units.
+func NewDecayingBloomFilter(cells, hashes int, halfLife float64) *DecayingBloomFilter {
+	if cells <= 0 || hashes <= 0 {
+		panic("apps: bloom filter needs positive cells and hashes")
+	}
+	return &DecayingBloomFilter{
+		cells:  make([]float64, cells),
+		stamps: make([]int64, cells),
+		hashes: hashes,
+		beta:   math.Exp(-math.Ln2 / halfLife),
+	}
+}
+
+func (f *DecayingBloomFilter) idx(key string, i int) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{byte(i)})
+	return int(h.Sum64() % uint64(len(f.cells)))
+}
+
+// decayed returns cell c's value at the current time.
+func (f *DecayingBloomFilter) decayed(c int) float64 {
+	dt := f.now - f.stamps[c]
+	if dt <= 0 {
+		return f.cells[c]
+	}
+	return f.cells[c] * math.Pow(f.beta, float64(dt))
+}
+
+// Advance moves the filter's clock forward (monotone).
+func (f *DecayingBloomFilter) Advance(now int64) {
+	if now > f.now {
+		f.now = now
+	}
+}
+
+// Add increments the key's cells by weight (decaying their prior content).
+func (f *DecayingBloomFilter) Add(key string, weight float64) {
+	for i := 0; i < f.hashes; i++ {
+		c := f.idx(key, i)
+		f.cells[c] = f.decayed(c) + weight
+		f.stamps[c] = f.now
+	}
+}
+
+// Estimate returns the decayed count estimate for the key (the minimum
+// over its cells, as in a counting Bloom filter).
+func (f *DecayingBloomFilter) Estimate(key string) float64 {
+	min := math.Inf(1)
+	for i := 0; i < f.hashes; i++ {
+		if v := f.decayed(f.idx(key, i)); v < min {
+			min = v
+		}
+	}
+	return min
+}

@@ -1,0 +1,44 @@
+package apps
+
+import "streamscale/internal/engine"
+
+// Null builds the "null" application of §V-B: a source feeding an operator
+// that performs nothing, isolating the platform's own instruction footprint
+// in the Figure 9 CDF.
+func Null(cfg Config) *engine.Topology {
+	cfg = cfg.fill()
+	t := engine.NewTopology("null")
+
+	t.AddSource("source", 1, func() engine.Source {
+		return &nullSource{n: cfg.Events}
+	}, engine.Stream(engine.DefaultStream, "v")).
+		WithProfile(engine.WorkProfile{
+			CodeBytes:        6 << 10,
+			UopsPerTuple:     60,
+			BranchesPerTuple: 2,
+			AvgTupleBytes:    32,
+		})
+
+	t.AddOp("null", cfg.par(2), func() engine.Operator {
+		return engine.ProcessFunc(func(engine.Context, engine.Tuple) {})
+	}).
+		SubDefault("source", engine.Shuffle()).
+		WithProfile(engine.WorkProfile{
+			CodeBytes:        5 << 10,
+			UopsPerTuple:     20,
+			BranchesPerTuple: 1,
+		})
+	return t
+}
+
+type nullSource struct{ n int }
+
+func (s *nullSource) Prepare(engine.Context) {}
+func (s *nullSource) Next(ctx engine.Context) bool {
+	if s.n <= 0 {
+		return false
+	}
+	s.n--
+	ctx.Emit(s.n)
+	return s.n > 0
+}

@@ -1,0 +1,281 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"streamscale/internal/engine"
+	"streamscale/internal/gen"
+)
+
+// --- WC --------------------------------------------------------------
+
+func TestSplitOpWords(t *testing.T) {
+	op := splitOp{}
+	ctx := &ctxAdapter{fakeCtx: newFakeCtx()}
+	op.Process(ctx, engine.Tuple{Values: []engine.Value{"  alpha beta  gamma "}})
+	if len(ctx.emitted) != 3 {
+		t.Fatalf("words = %d, want 3: %v", len(ctx.emitted), ctx.emitted)
+	}
+	want := []string{"alpha", "beta", "gamma"}
+	for i, w := range want {
+		if ctx.emitted[i][0].(string) != w {
+			t.Fatalf("word %d = %v, want %s", i, ctx.emitted[i][0], w)
+		}
+	}
+	// Empty sentence emits nothing.
+	ctx2 := &ctxAdapter{fakeCtx: newFakeCtx()}
+	op.Process(ctx2, engine.Tuple{Values: []engine.Value{"   "}})
+	if len(ctx2.emitted) != 0 {
+		t.Fatal("blank sentence emitted words")
+	}
+}
+
+func TestCountOpIncrements(t *testing.T) {
+	op := &countOp{}
+	op.Prepare(nil)
+	ctx := &ctxAdapter{fakeCtx: newFakeCtx()}
+	for i := 0; i < 3; i++ {
+		op.Process(ctx, engine.Tuple{Values: []engine.Value{"kernel"}})
+	}
+	last := ctx.emitted[len(ctx.emitted)-1]
+	if last[1].(int64) != 3 {
+		t.Fatalf("count = %v, want 3", last[1])
+	}
+}
+
+// --- SD --------------------------------------------------------------
+
+func TestMovingAvgWindow(t *testing.T) {
+	op := newMovingAvgOp()
+	ctx := &ctxAdapter{fakeCtx: newFakeCtx()}
+	for i := 1; i <= 4; i++ {
+		op.Process(ctx, engine.Tuple{Values: []engine.Value{7, int64(i), float64(i * 10)}})
+	}
+	// Averages: 10, 15, 20, 25.
+	want := []float64{10, 15, 20, 25}
+	for i, w := range want {
+		if got := ctx.emitted[i][2].(float64); got != w {
+			t.Fatalf("avg %d = %v, want %v", i, got, w)
+		}
+	}
+	// Window slides: after sdWindow+ readings the oldest drops out.
+	op2 := newMovingAvgOp()
+	ctx2 := &ctxAdapter{fakeCtx: newFakeCtx()}
+	for i := 0; i < sdWindow; i++ {
+		op2.Process(ctx2, engine.Tuple{Values: []engine.Value{1, int64(i), 100.0}})
+	}
+	op2.Process(ctx2, engine.Tuple{Values: []engine.Value{1, int64(99), 200.0}})
+	last := ctx2.emitted[len(ctx2.emitted)-1][2].(float64)
+	wantAvg := (100.0*float64(sdWindow-1) + 200.0) / float64(sdWindow)
+	if last != wantAvg {
+		t.Fatalf("sliding avg = %v, want %v", last, wantAvg)
+	}
+}
+
+func TestSpikeDetectThreshold(t *testing.T) {
+	ctx := &ctxAdapter{fakeCtx: newFakeCtx()}
+	// 3% above average: below threshold at exactly the edge value.
+	spikeDetect(ctx, engine.Tuple{Values: []engine.Value{1, 103.0, 100.0}})
+	if len(ctx.emitted) != 0 {
+		t.Fatal("non-spike emitted")
+	}
+	spikeDetect(ctx, engine.Tuple{Values: []engine.Value{1, 104.0, 100.0}})
+	if len(ctx.emitted) != 1 {
+		t.Fatal("spike above threshold not emitted")
+	}
+}
+
+// --- FD --------------------------------------------------------------
+
+func TestPredictOpFlagsRareTransitions(t *testing.T) {
+	op := newPredictOp()
+	ctx := &ctxAdapter{fakeCtx: newFakeCtx()}
+	send := func(cust string, typ int) {
+		op.Process(ctx, engine.Tuple{Values: []engine.Value{cust, int64(0), typ}})
+	}
+	// Train: transitions 0->1 repeated well past the warm-up threshold.
+	for i := 0; i < 60; i++ {
+		cust := fmt.Sprintf("C%02d", i%5)
+		send(cust, 0)
+		send(cust, 1)
+	}
+	baseline := len(ctx.emitted)
+	// A never-seen transition 0 -> 7 must be flagged.
+	send("C00", 0)
+	send("C00", 7)
+	if len(ctx.emitted) <= baseline {
+		t.Fatal("rare transition not flagged")
+	}
+	last := ctx.emitted[len(ctx.emitted)-1]
+	if last[0].(string) != "C00" {
+		t.Fatalf("flag names customer %v", last[0])
+	}
+	if last[1].(float64) >= fdThreshold {
+		t.Fatalf("flag probability %v not below threshold", last[1])
+	}
+}
+
+// --- VS --------------------------------------------------------------
+
+func TestRateModuleScoresGrowWithCalls(t *testing.T) {
+	m := newRateModule("ecr", 2.6, true)
+	m.Prepare(nil)
+	ctx := &ctxAdapter{fakeCtx: newFakeCtx()}
+	cdr := func(ts int64) engine.Tuple {
+		return engine.Tuple{Values: []engine.Value{"+6500000001", "+6500000002", ts, 60, true}}
+	}
+	m.Process(ctx, cdr(1))
+	first := ctx.emitted[0][1].(float64)
+	for i := int64(2); i <= 20; i++ {
+		m.Process(ctx, cdr(i))
+	}
+	last := ctx.emitted[len(ctx.emitted)-1][1].(float64)
+	if last <= first {
+		t.Fatalf("score did not grow with call volume: %v -> %v", first, last)
+	}
+	if last <= 0 || last >= 1 {
+		t.Fatalf("score %v out of (0,1)", last)
+	}
+}
+
+func TestScoreOpRequiresEvidence(t *testing.T) {
+	op := newScoreOp()
+	ctx := &ctxAdapter{fakeCtx: newFakeCtx()}
+	emit := func(mod string, score float64) {
+		ctx.inOp = mod
+		op.Process(ctx, engine.Tuple{Values: []engine.Value{"+6500000001", score, 2.0}})
+	}
+	emit("ecr24", 0.99)
+	emit("ct24", 0.99)
+	emit("encr", 0.99)
+	if len(ctx.emitted) != 0 {
+		t.Fatal("flagged with fewer than 4 modules of evidence")
+	}
+	emit("fofir", 0.99)
+	if len(ctx.emitted) != 1 {
+		t.Fatal("high fused score not flagged once evidence sufficed")
+	}
+	// Re-flagging the same number is suppressed.
+	emit("acd", 0.99)
+	if len(ctx.emitted) != 1 {
+		t.Fatal("number flagged twice")
+	}
+}
+
+func TestFofirFusesEcrAndRcr(t *testing.T) {
+	op := newFofirOp()
+	ctx := &ctxAdapter{fakeCtx: newFakeCtx()}
+	ctx.inOp = "ecr"
+	op.Process(ctx, engine.Tuple{Values: []engine.Value{"+65", 0.8, 2.6}})
+	if len(ctx.emitted) != 0 {
+		t.Fatal("fused before both sides arrived")
+	}
+	ctx.inOp = "rcr"
+	op.Process(ctx, engine.Tuple{Values: []engine.Value{"+65", 0.5, 2.0}})
+	if len(ctx.emitted) != 1 {
+		t.Fatal("no fusion after both sides arrived")
+	}
+	fused := ctx.emitted[0][1].(float64)
+	if want := 0.8 * (1 - 0.5*0.5); fused < want-1e-9 || fused > want+1e-9 {
+		t.Fatalf("fused = %v, want %v", fused, want)
+	}
+}
+
+// --- LG --------------------------------------------------------------
+
+func TestGeoStatsTracksCitiesAndTotals(t *testing.T) {
+	op := newGeoStatsOp()
+	ctx := &ctxAdapter{fakeCtx: newFakeCtx()}
+	hit := func(country, city string) {
+		op.Process(ctx, engine.Tuple{Values: []engine.Value{country, city}})
+	}
+	hit("sg", "central")
+	hit("sg", "east")
+	hit("sg", "central")
+	last := ctx.emitted[len(ctx.emitted)-1]
+	if last[1].(int64) != 2 {
+		t.Fatalf("city count = %v, want 2", last[1])
+	}
+	if last[2].(int64) != 3 {
+		t.Fatalf("total = %v, want 3", last[2])
+	}
+}
+
+func TestStatusCounter(t *testing.T) {
+	op := newStatusCounterOp()
+	ctx := &ctxAdapter{fakeCtx: newFakeCtx()}
+	rec := func(code int) engine.Tuple {
+		return engine.Tuple{Values: []engine.Value{"ip", int64(0), "/u", code, 0}}
+	}
+	op.Process(ctx, rec(200))
+	op.Process(ctx, rec(404))
+	op.Process(ctx, rec(200))
+	last := ctx.emitted[len(ctx.emitted)-1]
+	if last[0].(int) != 200 || last[1].(int64) != 2 {
+		t.Fatalf("status row = %v, want [200 2]", last)
+	}
+}
+
+// --- TM --------------------------------------------------------------
+
+func TestMapMatchEmitsNearestRoad(t *testing.T) {
+	grid := gen.NewRoadGrid(tmGridRows, tmGridCols)
+	op := newMapMatchOp(grid)
+	ctx := &ctxAdapter{fakeCtx: newFakeCtx()}
+	lat := grid.RoadLat(3)
+	lon := grid.OriginLon + 0.015
+	op.Process(ctx, engine.Tuple{Values: []engine.Value{9, lat, lon, 42.0, int64(5)}})
+	if len(ctx.emitted) != 1 {
+		t.Fatal("no match emitted")
+	}
+	if ctx.emitted[0][0].(int) != 3 {
+		t.Fatalf("matched road %v, want 3", ctx.emitted[0][0])
+	}
+	// A far-off-network point is dropped.
+	ctx2 := &ctxAdapter{fakeCtx: newFakeCtx()}
+	op.Process(ctx2, engine.Tuple{Values: []engine.Value{9, 0.0, 0.0, 42.0, int64(6)}})
+	if len(ctx2.emitted) != 0 {
+		t.Fatal("off-network point matched")
+	}
+}
+
+func TestSpeedCalcEMA(t *testing.T) {
+	op := newSpeedCalcOp()
+	ctx := &ctxAdapter{fakeCtx: newFakeCtx()}
+	send := func(speed float64) {
+		op.Process(ctx, engine.Tuple{Values: []engine.Value{5, 0, speed, int64(0)}})
+	}
+	send(50)
+	send(100)
+	last := ctx.emitted[len(ctx.emitted)-1]
+	if got := last[1].(float64); got != 0.8*50+0.2*100 {
+		t.Fatalf("EMA = %v, want %v", got, 0.8*50+0.2*100)
+	}
+	if last[2].(int64) != 2 {
+		t.Fatalf("count = %v, want 2", last[2])
+	}
+}
+
+// sinkProfileSanity: every app's sink is a terminal no-output operator.
+func TestSinksHaveNoUserStreams(t *testing.T) {
+	for _, name := range BenchmarkNames() {
+		topo, err := Build(name, Config{Events: 5, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := 0
+		for _, n := range topo.Nodes() {
+			if strings.HasSuffix(n.Name, "sink") {
+				found++
+				if len(n.Streams) != 0 {
+					t.Fatalf("%s: sink %q declares output streams", name, n.Name)
+				}
+			}
+		}
+		if found == 0 {
+			t.Fatalf("%s: no sink operator", name)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"streamscale/internal/apps"
+)
+
+// CSV emitters: each figure's data as a machine-readable table, for
+// plotting the reproduction next to the paper's figures.
+
+func writeAll(w *csv.Writer, rows [][]string) error {
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// Fig6aCSV writes app,storm,flink throughput rows (k events/s).
+func Fig6aCSV(out io.Writer, cells []CellResult) error {
+	rows := [][]string{{"app", "storm_kev_s", "flink_kev_s"}}
+	for _, app := range apps.BenchmarkNames() {
+		rows = append(rows, []string{
+			app,
+			f(find(cells, app, "storm").Res.Throughput().KPerSecond()),
+			f(find(cells, app, "flink").Res.Throughput().KPerSecond()),
+		})
+	}
+	return writeAll(csv.NewWriter(out), rows)
+}
+
+// BreakdownCSV writes system,app,computation,frontend,backend,badspec rows
+// (Figure 7 data).
+func BreakdownCSV(out io.Writer, cells []CellResult) error {
+	rows := [][]string{{"system", "app", "computation", "frontend", "backend", "badspec"}}
+	for _, sys := range Systems {
+		for _, app := range apps.BenchmarkNames() {
+			bd := find(cells, app, sys).Res.Profile.Breakdown()
+			rows = append(rows, []string{
+				sys, app, f(bd.Computation), f(bd.FrontEnd), f(bd.BackEnd), f(bd.BadSpec),
+			})
+		}
+	}
+	return writeAll(csv.NewWriter(out), rows)
+}
+
+// ScalabilityCSV writes app,cores,normalized rows (Figure 6b/6c data).
+func ScalabilityCSV(out io.Writer, s *ScalabilityResult) error {
+	rows := [][]string{{"system", "app", "cores", "normalized"}}
+	for _, app := range apps.BenchmarkNames() {
+		series, ok := s.Normalized[app]
+		if !ok {
+			continue
+		}
+		for i, v := range series {
+			rows = append(rows, []string{
+				s.System, app, strconv.Itoa(s.Points[i]), f(v),
+			})
+		}
+	}
+	return writeAll(csv.NewWriter(out), rows)
+}
+
+// FootprintCSV writes app,bytes,cdf rows (Figure 9 data).
+func FootprintCSV(out io.Writer, results []FootprintResult) error {
+	rows := [][]string{{"system", "app", "bytes", "cdf"}}
+	for _, r := range results {
+		for _, p := range r.Points {
+			rows = append(rows, []string{
+				r.System, r.App, strconv.Itoa(p.Bytes), f(p.Fraction),
+			})
+		}
+	}
+	return writeAll(csv.NewWriter(out), rows)
+}
+
+// BatchingCSV writes system,app,batch,throughput,latency rows (Fig 12/13).
+func BatchingCSV(out io.Writer, rows_ []BatchingRow) error {
+	rows := [][]string{{"system", "app", "batch", "norm_throughput", "norm_latency"}}
+	for _, r := range rows_ {
+		for i, s := range r.Sizes {
+			rows = append(rows, []string{
+				r.System, r.App, strconv.Itoa(s), f(r.Throughput[i]), f(r.Latency[i]),
+			})
+		}
+	}
+	return writeAll(csv.NewWriter(out), rows)
+}
+
+// PlacementCSV writes the Fig 14/15 series.
+func PlacementCSV(out io.Writer, rows_ []PlacementRow) error {
+	rows := [][]string{{"system", "app", "single_socket", "four_sockets", "placed", "combined", "best_k"}}
+	for _, r := range rows_ {
+		rows = append(rows, []string{
+			r.System, r.App, f(r.SingleSocket), f(r.FourSockets), f(r.Placed), f(r.Combined),
+			strconv.Itoa(r.BestK),
+		})
+	}
+	return writeAll(csv.NewWriter(out), rows)
+}
+
+// TableVCSV writes app,local,remote rows.
+func TableVCSV(out io.Writer, system string, rows_ []TableVRow) error {
+	rows := [][]string{{"system", "app", "llc_local", "llc_remote"}}
+	for _, r := range rows_ {
+		rows = append(rows, []string{system, r.App, f(r.Local), f(r.Remote)})
+	}
+	return writeAll(csv.NewWriter(out), rows)
+}
+
+// Fig10CSV writes executors,mean_ms,stddev_ms,remote_share rows.
+func Fig10CSV(out io.Writer, rows_ []Fig10Row) error {
+	rows := [][]string{{"executors", "mean_ms", "stddev_ms", "be_remote", "be_local"}}
+	for _, r := range rows_ {
+		rows = append(rows, []string{
+			strconv.Itoa(r.Executors), f(r.MeanLatencyMs), f(r.StddevMs),
+			f(r.RemoteShare), f(r.LocalShare),
+		})
+	}
+	return writeAll(csv.NewWriter(out), rows)
+}
+
+// UtilizationCSV writes system,app,cpu,mem rows (Table IV data).
+func UtilizationCSV(out io.Writer, cells []CellResult) error {
+	rows := [][]string{{"system", "app", "cpu", "memory_bw"}}
+	for _, sys := range Systems {
+		for _, app := range apps.BenchmarkNames() {
+			cr := find(cells, app, sys)
+			rows = append(rows, []string{sys, app, f(cr.Res.CPUUtil), f(cr.Res.MemUtil)})
+		}
+	}
+	return writeAll(csv.NewWriter(out), rows)
+}
+
+// CSVName maps an artifact to its conventional file name.
+func CSVName(artifact string) string { return fmt.Sprintf("%s.csv", artifact) }

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"streamscale/internal/apps"
+	"streamscale/internal/profiler"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestCSVExports(t *testing.T) {
+	cells := study(t)
+
+	var sb strings.Builder
+	if err := Fig6aCSV(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if len(rows) != 8 { // header + 7 apps
+		t.Fatalf("fig6a rows = %d, want 8", len(rows))
+	}
+	if rows[0][0] != "app" || len(rows[1]) != 3 {
+		t.Fatalf("fig6a header malformed: %v", rows[0])
+	}
+
+	sb.Reset()
+	if err := BreakdownCSV(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, sb.String())
+	if len(rows) != 15 { // header + 2 systems x 7 apps
+		t.Fatalf("breakdown rows = %d, want 15", len(rows))
+	}
+
+	sb.Reset()
+	if err := UtilizationCSV(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	if rows = parseCSV(t, sb.String()); len(rows) != 15 {
+		t.Fatalf("utilization rows = %d, want 15", len(rows))
+	}
+}
+
+func TestScalabilityCSV(t *testing.T) {
+	s := &ScalabilityResult{
+		System:     "storm",
+		Points:     []int{1, 8},
+		Normalized: map[string][]float64{"wc": {1, 3.5}},
+	}
+	var sb strings.Builder
+	if err := ScalabilityCSV(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[2][2] != "8" || rows[2][3] != "3.5000" {
+		t.Fatalf("row malformed: %v", rows[2])
+	}
+}
+
+func TestBatchingAndPlacementCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := BatchingCSV(&sb, []BatchingRow{{
+		App: "wc", System: "storm", Sizes: []int{1, 8},
+		Throughput: []float64{1, 2.3}, Latency: []float64{1, 1.5},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if len(rows) != 3 || rows[2][3] != "2.3000" {
+		t.Fatalf("batching CSV malformed: %v", rows)
+	}
+
+	sb.Reset()
+	if err := PlacementCSV(&sb, []PlacementRow{{
+		App: "lr", System: "storm", SingleSocket: 1.1, FourSockets: 1,
+		Placed: 1.3, Combined: 1.4, BestK: 4,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, sb.String())
+	if len(rows) != 2 || rows[1][6] != "4" {
+		t.Fatalf("placement CSV malformed: %v", rows)
+	}
+
+	sb.Reset()
+	if err := Fig10CSV(&sb, []Fig10Row{{Executors: 32, MeanLatencyMs: 40}}); err != nil {
+		t.Fatal(err)
+	}
+	if rows = parseCSV(t, sb.String()); len(rows) != 2 {
+		t.Fatal("fig10 CSV malformed")
+	}
+
+	sb.Reset()
+	if err := TableVCSV(&sb, "storm", []TableVRow{{App: "wc", Local: 0.05, Remote: 0.2}}); err != nil {
+		t.Fatal(err)
+	}
+	if rows = parseCSV(t, sb.String()); len(rows) != 2 || rows[1][3] != "0.2000" {
+		t.Fatalf("tableV CSV malformed: %v", rows)
+	}
+
+	sb.Reset()
+	if err := FootprintCSV(&sb, []FootprintResult{{
+		App: "wc", System: "storm",
+		Points: []profiler.CDFPoint{{Bytes: 1024, Fraction: 0.5}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if rows = parseCSV(t, sb.String()); len(rows) != 2 || rows[1][2] != "1024" {
+		t.Fatalf("footprint CSV malformed: %v", rows)
+	}
+}
+
+func TestCSVName(t *testing.T) {
+	if CSVName("fig7") != "fig7.csv" {
+		t.Fatal("bad CSV name")
+	}
+	_ = apps.BenchmarkNames() // keep import
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+
+	"streamscale/internal/apps"
+)
+
+// Every application named in the benchmark registry has a default event
+// budget in the harness, so `bench.Run` never silently falls back for a
+// known app.
+func TestDefaultEventsCoverBenchmarkApps(t *testing.T) {
+	for _, app := range apps.BenchmarkNames() {
+		if defaultEvents[app] == 0 {
+			t.Errorf("app %s has no default event budget", app)
+		}
+	}
+	if defaultEvents["null"] == 0 {
+		t.Error("null app has no default event budget")
+	}
+}
+
+// Cell.Events applies the scale multiplicatively.
+func TestCellEventsScaling(t *testing.T) {
+	base := Cell{App: "wc"}.Events()
+	if base == 0 {
+		t.Fatal("no default for wc")
+	}
+	if got := (Cell{App: "wc", EventScale: 2}).Events(); got != base*2 {
+		t.Fatalf("scaled events = %d, want %d", got, base*2)
+	}
+	if got := (Cell{App: "unknown-app"}).Events(); got != 5000 {
+		t.Fatalf("fallback events = %d, want 5000", got)
+	}
+}
+
+// Cell.Topology applies parallelism overrides and chaining.
+func TestCellTopologyOverrides(t *testing.T) {
+	c := Cell{App: "tm", System: "storm", ParallelismOverride: map[string]int{"map-match": 40}}
+	topo, err := c.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Node("map-match").Parallelism; got != 40 {
+		t.Fatalf("override parallelism = %d, want 40", got)
+	}
+	sd := Cell{App: "sd", System: "flink", Chaining: true}
+	topo, err = sd.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Node("moving-average+spike-detection") == nil {
+		t.Fatal("chaining did not fuse SD's chainable hop")
+	}
+}

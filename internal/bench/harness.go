@@ -1,0 +1,148 @@
+// Package bench is the experiment harness: it runs (application x system x
+// machine-configuration x optimization) cells on the simulated Table III
+// server and regenerates every table and figure of the paper's evaluation
+// (the per-experiment index lives in DESIGN.md; measured-vs-paper results
+// in EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+
+	"streamscale/internal/apps"
+	"streamscale/internal/engine"
+	"streamscale/internal/hw"
+	"streamscale/internal/jvm"
+)
+
+// defaultEvents is the per-application source event count for one
+// simulation cell — enough to reach steady state (caches warmed, young
+// generation wrapped, cold paths touched) while keeping a full sweep fast.
+var defaultEvents = map[string]int{
+	"wc":   3000,
+	"fd":   10000,
+	"lg":   4000,
+	"sd":   10000,
+	"vs":   4000,
+	"tm":   150,
+	"lr":   6000,
+	"null": 20000,
+}
+
+// Cell describes one experiment cell.
+type Cell struct {
+	App    string
+	System string // "storm" or "flink"
+
+	// Sockets/Cores select the machine slice (0 = all four sockets).
+	Sockets int
+	Cores   int
+
+	// BatchSize is the tuple-batching S (0/1 = off).
+	BatchSize int
+	// Placement pins executors to sockets (nil = OS-spread).
+	Placement map[int]int
+
+	// EventScale scales the app's default event count.
+	EventScale float64
+	// Scale multiplies every operator's tuned parallelism (the paper
+	// re-tunes thread counts per machine configuration).
+	Scale int
+	// Seed defaults to 1.
+	Seed int64
+	// GC overrides the collector model.
+	GC jvm.Config
+	// HugePages enables 2 MB pages.
+	HugePages bool
+	// NoUopCache disables the decoded-µop cache (D-ICache ablation).
+	NoUopCache bool
+	// Chaining applies Flink-style operator chaining before running.
+	Chaining bool
+	// ParallelismOverride adjusts named operators' executor counts after
+	// the app is built (e.g. the Fig 10 Map-Match sweep).
+	ParallelismOverride map[string]int
+}
+
+func systemProfile(name string) (engine.SystemProfile, error) {
+	switch name {
+	case "storm":
+		return engine.Storm(), nil
+	case "flink":
+		return engine.Flink(), nil
+	}
+	return engine.SystemProfile{}, fmt.Errorf("bench: unknown system %q", name)
+}
+
+// Events returns the cell's event count.
+func (c Cell) Events() int {
+	ev := defaultEvents[c.App]
+	if ev == 0 {
+		ev = 5000
+	}
+	if c.EventScale > 0 {
+		ev = int(float64(ev) * c.EventScale)
+	}
+	return ev
+}
+
+// Topology builds the cell's application topology with overrides applied.
+func (c Cell) Topology() (*engine.Topology, error) {
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	topo, err := apps.Build(c.App, apps.Config{Events: c.Events(), Seed: seed, Scale: c.Scale})
+	if err != nil {
+		return nil, err
+	}
+	for op, p := range c.ParallelismOverride {
+		n := topo.Node(op)
+		if n == nil {
+			return nil, fmt.Errorf("bench: override for unknown operator %q in %s", op, c.App)
+		}
+		n.Parallelism = p
+	}
+	if c.Chaining {
+		chained, _, err := engine.ChainTopology(topo)
+		if err != nil {
+			return nil, err
+		}
+		topo = chained
+	}
+	return topo, nil
+}
+
+// Run executes the cell on the simulated machine.
+func Run(c Cell) (*engine.Result, error) {
+	sys, err := systemProfile(c.System)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := c.Topology()
+	if err != nil {
+		return nil, err
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cfg := engine.SimConfig{
+		System:    sys,
+		BatchSize: c.BatchSize,
+		Sockets:   c.Sockets,
+		Cores:     c.Cores,
+		Placement: c.Placement,
+		Seed:      seed,
+		GC:        c.GC,
+	}
+	if c.HugePages || c.NoUopCache {
+		spec := hw.TableIII()
+		if c.HugePages {
+			spec = spec.WithHugePages()
+		}
+		if c.NoUopCache {
+			spec.Decode.UopCacheBytes = 0
+		}
+		cfg.Spec = spec
+	}
+	return engine.RunSim(topo, cfg)
+}

@@ -1,0 +1,175 @@
+package core
+
+import "math"
+
+// GlobalMinCut computes a global minimum cut of the weighted graph using
+// the Stoer-Wagner algorithm and returns the cut weight and one side of the
+// cut as vertex indices. The graph must have at least two vertices.
+func GlobalMinCut(w [][]float64) (float64, []int) {
+	n := len(w)
+	if n < 2 {
+		panic("core: min cut needs at least two vertices")
+	}
+	// Work on a copy; vertices merge as the algorithm proceeds.
+	g := make([][]float64, n)
+	for i := range g {
+		g[i] = append([]float64(nil), w[i]...)
+	}
+	// groups[i] is the set of original vertices merged into i.
+	groups := make([][]int, n)
+	for i := range groups {
+		groups[i] = []int{i}
+	}
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+
+	best := math.Inf(1)
+	var bestSide []int
+
+	for len(active) > 1 {
+		// Maximum adjacency (minimum cut phase) on the active vertices.
+		inA := map[int]bool{}
+		wsum := map[int]float64{}
+		order := make([]int, 0, len(active))
+		for len(order) < len(active) {
+			// Pick the most tightly connected remaining vertex.
+			sel, selW := -1, math.Inf(-1)
+			for _, v := range active {
+				if inA[v] {
+					continue
+				}
+				if wsum[v] > selW {
+					sel, selW = v, wsum[v]
+				}
+			}
+			inA[sel] = true
+			order = append(order, sel)
+			for _, v := range active {
+				if !inA[v] {
+					wsum[v] += g[sel][v]
+				}
+			}
+		}
+		t := order[len(order)-1]
+		cutOfPhase := 0.0
+		for _, v := range active {
+			if v != t {
+				cutOfPhase += g[t][v]
+			}
+		}
+		if cutOfPhase < best {
+			best = cutOfPhase
+			bestSide = append([]int(nil), groups[t]...)
+		}
+		// Merge t into s (the second-to-last vertex of the phase).
+		s := order[len(order)-2]
+		groups[s] = append(groups[s], groups[t]...)
+		for _, v := range active {
+			if v != s && v != t {
+				g[s][v] += g[t][v]
+				g[v][s] = g[s][v]
+			}
+		}
+		// Remove t from the active set.
+		for i, v := range active {
+			if v == t {
+				active = append(active[:i], active[i+1:]...)
+				break
+			}
+		}
+	}
+	return best, bestSide
+}
+
+// MinKCut partitions the graph into k non-empty components by recursive
+// minimum cuts (the classical (2-2/k)-approximation): at each step the
+// component whose internal minimum cut is cheapest is split. It returns the
+// per-vertex component assignment and the total weight of edges across
+// components.
+func MinKCut(w [][]float64, k int) ([]int, float64) {
+	n := len(w)
+	if k < 1 {
+		panic("core: k must be >= 1")
+	}
+	if k > n {
+		k = n
+	}
+	assign := make([]int, n)
+	if k == 1 {
+		return assign, 0
+	}
+	comps := [][]int{allVertices(n)}
+	for len(comps) < k {
+		// Find the component with the cheapest internal min cut.
+		bestIdx, bestCost := -1, math.Inf(1)
+		var bestSplit []int
+		for ci, comp := range comps {
+			if len(comp) < 2 {
+				continue
+			}
+			sub := subMatrix(w, comp)
+			cost, side := GlobalMinCut(sub)
+			if cost < bestCost {
+				bestIdx, bestCost = ci, cost
+				bestSplit = make([]int, len(side))
+				for i, v := range side {
+					bestSplit[i] = comp[v]
+				}
+			}
+		}
+		if bestIdx < 0 {
+			break // all components are singletons
+		}
+		inSide := map[int]bool{}
+		for _, v := range bestSplit {
+			inSide[v] = true
+		}
+		var rest []int
+		for _, v := range comps[bestIdx] {
+			if !inSide[v] {
+				rest = append(rest, v)
+			}
+		}
+		comps[bestIdx] = bestSplit
+		comps = append(comps, rest)
+	}
+	for ci, comp := range comps {
+		for _, v := range comp {
+			assign[v] = ci
+		}
+	}
+	return assign, cutWeight(w, assign)
+}
+
+func allVertices(n int) []int {
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = i
+	}
+	return vs
+}
+
+func subMatrix(w [][]float64, vs []int) [][]float64 {
+	m := make([][]float64, len(vs))
+	for i := range vs {
+		m[i] = make([]float64, len(vs))
+		for j := range vs {
+			m[i][j] = w[vs[i]][vs[j]]
+		}
+	}
+	return m
+}
+
+func cutWeight(w [][]float64, assign []int) float64 {
+	var c float64
+	for i := range w {
+		for j := i + 1; j < len(w); j++ {
+			if assign[i] != assign[j] {
+				c += w[i][j]
+			}
+		}
+	}
+	return c
+}

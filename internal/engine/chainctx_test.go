@@ -1,0 +1,89 @@
+package engine
+
+import "testing"
+
+// A chained head must not emit to named streams: the chain contract is a
+// single default-stream hop.
+func TestChainCtxRejectsNamedStreams(t *testing.T) {
+	topo := NewTopology("badchain")
+	topo.AddSource("src", 1, func() Source { return &burstSource{n: 3, per: 1} },
+		Stream(DefaultStream, "a", "b"))
+	topo.AddOp("head", 1, func() Operator {
+		return ProcessFunc(func(ctx Context, tp Tuple) {
+			ctx.EmitTo(DefaultStream, tp.Values...) // allowed: routes to tail
+		})
+	}, Stream(DefaultStream, "a", "b")).
+		SubDefault("src", Shuffle())
+	topo.AddOp("tail", 1, func() Operator {
+		return ProcessFunc(func(ctx Context, tp Tuple) { ctx.Emit(tp.Values...) })
+	}, Stream(DefaultStream, "a", "b")).
+		SubDefault("head", Shuffle())
+	topo.AddOp("sink", 1, func() Operator { return ProcessFunc(func(Context, Tuple) {}) }).
+		SubDefault("tail", Shuffle())
+
+	chained, fused, err := ChainTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fused) == 0 {
+		t.Fatal("nothing fused")
+	}
+	// EmitTo(DefaultStream, ...) through the chain works fine.
+	res, err := RunSim(chained, SimConfig{System: Flink(), Seed: 1, Sockets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SinkEvents != 3 {
+		t.Fatalf("sink events = %d, want 3", res.SinkEvents)
+	}
+}
+
+func TestChainCtxPanicsOnOtherStream(t *testing.T) {
+	cc := &chainCtx{tail: nopOp{}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EmitTo on a named stream through a chain did not panic")
+		}
+	}()
+	cc.EmitTo("side", "x")
+}
+
+// Chaining composes transitively: a 3-stage forward pipeline collapses to
+// one operator.
+func TestChainTopologyTransitive(t *testing.T) {
+	topo := NewTopology("triple")
+	topo.AddSource("src", 1, func() Source { return &burstSource{n: 20, per: 1} },
+		Stream(DefaultStream, "a", "b"))
+	mk := func() Operator {
+		return ProcessFunc(func(ctx Context, tp Tuple) { ctx.Emit(tp.Values...) })
+	}
+	topo.AddOp("s1", 2, mk, Stream(DefaultStream, "a", "b")).SubDefault("src", Shuffle())
+	topo.AddOp("s2", 2, mk, Stream(DefaultStream, "a", "b")).SubDefault("s1", Shuffle())
+	topo.AddOp("s3", 2, mk, Stream(DefaultStream, "a", "b")).SubDefault("s2", Shuffle())
+	topo.AddOp("sink", 1, func() Operator { return ProcessFunc(func(Context, Tuple) {}) }).
+		SubDefault("s3", Global())
+
+	chained, fused, err := ChainTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fused) != 2 {
+		t.Fatalf("fused %d pairs, want 2 (three stages -> one)", len(fused))
+	}
+	ops := 0
+	for _, n := range chained.Nodes() {
+		if !n.IsSource() {
+			ops++
+		}
+	}
+	if ops != 2 { // fused pipeline + sink
+		t.Fatalf("non-source nodes = %d, want 2", ops)
+	}
+	res, err := RunSim(chained, SimConfig{System: Flink(), Seed: 2, Sockets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SinkEvents != 20 {
+		t.Fatalf("sink events = %d, want 20", res.SinkEvents)
+	}
+}

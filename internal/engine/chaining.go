@@ -1,0 +1,170 @@
+package engine
+
+import "fmt"
+
+// Operator chaining (Flink's task-fusion optimization): a producer whose
+// single output stream feeds exactly one consumer with equal parallelism
+// over a shuffle (forward-able) connection is fused with that consumer
+// into one operator. The chained hop then costs a function call instead of
+// a queue transfer — no serialization, no scheduling, no remote access.
+//
+// ChainTopology rewrites a topology by repeatedly fusing every chainable
+// pair. The rewrite is semantics-preserving: the fused operator runs the
+// head's Process and feeds each emission straight into the tail's Process;
+// downstream subscriptions move to the fused node.
+
+// chainable reports whether producer p can fuse with its sole consumer,
+// returning that consumer.
+func chainable(t *Topology, p *Node) (*Node, bool) {
+	if p.IsSource() || p.System || len(p.Streams) != 1 || p.Streams[0].Name != DefaultStream {
+		return nil, false
+	}
+	edges := t.Consumers(p.Name)
+	if len(edges) != 1 {
+		return nil, false
+	}
+	c := edges[0].Consumer
+	if c.System || c.IsSource() || len(c.Subs) != 1 {
+		return nil, false
+	}
+	sub := c.Subs[0]
+	if sub.Group.Kind != GroupShuffle || c.Parallelism != p.Parallelism {
+		return nil, false
+	}
+	return c, true
+}
+
+// chainedOp runs head then tail in one invocation.
+type chainedOp struct {
+	head Operator
+	tail Operator
+}
+
+func (c *chainedOp) Prepare(ctx Context) {
+	c.head.Prepare(ctx)
+	c.tail.Prepare(ctx)
+}
+
+func (c *chainedOp) Process(ctx Context, t Tuple) {
+	c.head.Process(&chainCtx{Context: ctx, tail: c.tail}, t)
+}
+
+// Flush drains both stages at end of stream: the head's flush output flows
+// through the tail, then the tail flushes itself.
+func (c *chainedOp) Flush(ctx Context) {
+	if f, ok := c.head.(Flusher); ok {
+		f.Flush(&chainCtx{Context: ctx, tail: c.tail})
+	}
+	if f, ok := c.tail.(Flusher); ok {
+		f.Flush(ctx)
+	}
+}
+
+// chainCtx intercepts the head's emissions and feeds them to the tail
+// synchronously; the tail's own emissions go to the real context (the
+// fused node declares the tail's output streams).
+type chainCtx struct {
+	Context
+	tail Operator
+}
+
+func (c *chainCtx) Emit(values ...Value) {
+	c.tail.Process(c.Context, Tuple{Values: values, Size: int32(TupleBytes(values))})
+}
+
+func (c *chainCtx) EmitTo(stream string, values ...Value) {
+	if stream != DefaultStream {
+		panic(fmt.Sprintf("engine: chained head emitted to stream %q; only the default stream is chainable", stream))
+	}
+	c.Emit(values...)
+}
+
+// fuseProfile combines the work profiles of a chained pair: the tail runs
+// once per head output, so its per-tuple costs scale by the head's
+// selectivity.
+func fuseProfile(head, tail WorkProfile) WorkProfile {
+	sel := head.EffSelectivity()
+	scale := func(v int) int { return int(float64(v)*sel + 0.5) }
+	return WorkProfile{
+		CodeBytes:             head.CodeBytes + tail.CodeBytes,
+		UopsPerTuple:          head.UopsPerTuple + scale(tail.UopsPerTuple),
+		UopsPerEmit:           tail.UopsPerEmit,
+		BranchesPerTuple:      head.BranchesPerTuple + scale(tail.BranchesPerTuple),
+		StateBytes:            head.StateBytes + tail.StateBytes,
+		SharedState:           head.SharedState || tail.SharedState,
+		StateAccessesPerTuple: head.StateAccessesPerTuple + scale(tail.StateAccessesPerTuple),
+		ExtraAllocPerTuple:    head.ExtraAllocPerTuple + scale(tail.ExtraAllocPerTuple),
+		Selectivity:           head.EffSelectivity() * tail.EffSelectivity(),
+		AvgTupleBytes:         tail.EffTupleBytes(),
+	}
+}
+
+// ChainTopology returns a rewritten topology with every chainable pair
+// fused, plus the list of fused pairs as "head->tail" strings. The input
+// topology is not modified.
+func ChainTopology(t *Topology) (*Topology, []string, error) {
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	// Work on a copy.
+	cur := NewTopology(t.Name)
+	for _, n := range t.nodes {
+		cp := *n
+		cp.Streams = append([]StreamSpec(nil), n.Streams...)
+		cp.Subs = append([]Subscription(nil), n.Subs...)
+		cur.add(&cp)
+	}
+
+	var fused []string
+	for {
+		var head, tail *Node
+		for _, n := range cur.nodes {
+			if c, ok := chainable(cur, n); ok {
+				head, tail = n, c
+				break
+			}
+		}
+		if head == nil {
+			break
+		}
+		fused = append(fused, head.Name+"->"+tail.Name)
+
+		next := NewTopology(cur.Name)
+		fusedName := head.Name + "+" + tail.Name
+		for _, n := range cur.nodes {
+			switch n.Name {
+			case head.Name:
+				newHead, newTail := head.NewOp, tail.NewOp
+				fn := &Node{
+					Name:        fusedName,
+					Parallelism: head.Parallelism,
+					NewOp: func() Operator {
+						return &chainedOp{head: newHead(), tail: newTail()}
+					},
+					Streams: append([]StreamSpec(nil), tail.Streams...),
+					Subs:    append([]Subscription(nil), head.Subs...),
+					Profile: fuseProfile(head.Profile, tail.Profile),
+				}
+				next.add(fn)
+			case tail.Name:
+				// absorbed into the fused node
+			default:
+				cp := *n
+				cp.Streams = append([]StreamSpec(nil), n.Streams...)
+				cp.Subs = make([]Subscription, len(n.Subs))
+				for i, s := range n.Subs {
+					if s.Operator == tail.Name {
+						s.Operator = fusedName
+					}
+					cp.Subs[i] = s
+				}
+				next.add(&cp)
+			}
+		}
+		cur = next
+	}
+	if err := cur.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("engine: chaining produced an invalid topology: %w", err)
+	}
+	return cur, fused, nil
+}

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// chainableTopology: src -> a (shuffle, equal par) -> b -> sink, where
+// a->b is chainable and b->sink is not (global grouping).
+func chainableTopology(events int, sink func() Operator) *Topology {
+	t := NewTopology("chain")
+	t.AddSource("src", 1, func() Source { return &burstSource{n: events, per: 1} },
+		Stream(DefaultStream, "a", "b"))
+	t.AddOp("double", 2, func() Operator {
+		return ProcessFunc(func(ctx Context, tp Tuple) {
+			ctx.Emit(tp.Values[0].(int)*2, tp.Values[1])
+		})
+	}, Stream(DefaultStream, "a", "b")).
+		SubDefault("src", Shuffle())
+	t.AddOp("inc", 2, func() Operator {
+		return ProcessFunc(func(ctx Context, tp Tuple) {
+			ctx.Emit(tp.Values[0].(int)+1, tp.Values[1])
+		})
+	}, Stream(DefaultStream, "a", "b")).
+		SubDefault("double", Shuffle())
+	t.AddOp("sink", 1, sink).SubDefault("inc", Global())
+	return t
+}
+
+func TestChainTopologyFusesPairs(t *testing.T) {
+	topo := chainableTopology(10, func() Operator { return ProcessFunc(func(Context, Tuple) {}) })
+	chained, fused, err := ChainTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fused) != 1 || fused[0] != "double->inc" {
+		t.Fatalf("fused = %v, want [double->inc]", fused)
+	}
+	if chained.Node("double+inc") == nil {
+		t.Fatal("fused node missing")
+	}
+	if chained.Node("double") != nil || chained.Node("inc") != nil {
+		t.Fatal("original nodes not absorbed")
+	}
+	// Sink's subscription moved to the fused node.
+	sink := chained.Node("sink")
+	if sink.Subs[0].Operator != "double+inc" {
+		t.Fatalf("sink subscribes to %q", sink.Subs[0].Operator)
+	}
+	// Original topology untouched.
+	if topo.Node("double") == nil {
+		t.Fatal("input topology was modified")
+	}
+}
+
+func TestChainedSemanticsIdentical(t *testing.T) {
+	run := func(chain bool) map[int]int {
+		got := map[int]int{}
+		topo := chainableTopology(50, func() Operator {
+			return ProcessFunc(func(_ Context, tp Tuple) { got[tp.Values[0].(int)]++ })
+		})
+		if chain {
+			c, fused, err := ChainTopology(topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fused) == 0 {
+				t.Fatal("nothing fused")
+			}
+			topo = c
+		}
+		if _, err := RunSim(topo, SimConfig{System: Flink(), Seed: 5, Sockets: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	plain := run(false)
+	chained := run(true)
+	if len(plain) != len(chained) {
+		t.Fatalf("distinct values differ: %d vs %d", len(plain), len(chained))
+	}
+	for k, v := range plain {
+		if chained[k] != v {
+			t.Fatalf("value %d: %d vs %d", k, chained[k], v)
+		}
+	}
+}
+
+func TestChainingImprovesThroughput(t *testing.T) {
+	tp := func(chain bool) float64 {
+		topo := chainableTopology(400, func() Operator { return ProcessFunc(func(Context, Tuple) {}) })
+		if chain {
+			c, _, err := ChainTopology(topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			topo = c
+		}
+		res, err := RunSim(topo, SimConfig{System: Flink(), Seed: 5, Sockets: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput().PerSecond()
+	}
+	plain, chained := tp(false), tp(true)
+	if chained <= plain {
+		t.Fatalf("chaining did not help: %.0f -> %.0f events/s", plain, chained)
+	}
+}
+
+func TestChainingSkipsNonChainable(t *testing.T) {
+	// Fields grouping, unequal parallelism, multi-consumer: none may fuse.
+	topo := NewTopology("nochain")
+	topo.AddSource("src", 1, func() Source { return &burstSource{n: 5, per: 1} },
+		Stream(DefaultStream, "a", "b"))
+	topo.AddOp("fieldsOp", 2, func() Operator {
+		return ProcessFunc(func(ctx Context, tp Tuple) { ctx.Emit(tp.Values...) })
+	}, Stream(DefaultStream, "a", "b")).
+		SubDefault("src", Fields("a"))
+	topo.AddOp("uneven", 3, func() Operator {
+		return ProcessFunc(func(ctx Context, tp Tuple) { ctx.Emit(tp.Values...) })
+	}, Stream(DefaultStream, "a", "b")).
+		SubDefault("fieldsOp", Shuffle())
+	topo.AddOp("sinkA", 1, func() Operator { return ProcessFunc(func(Context, Tuple) {}) }).
+		SubDefault("uneven", Shuffle())
+	topo.AddOp("sinkB", 1, func() Operator { return ProcessFunc(func(Context, Tuple) {}) }).
+		SubDefault("uneven", Shuffle())
+
+	_, fused, err := ChainTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fused) != 0 {
+		t.Fatalf("fused %v; nothing is chainable here", fused)
+	}
+}
+
+// A Flusher head's buffered tuples must still reach the sink through the
+// fused chain's Flush path.
+func TestChainingPreservesFlushSemantics(t *testing.T) {
+	var got int64
+	topo := NewTopology("flusher")
+	topo.AddSource("src", 1, func() Source { return &burstSource{n: 30, per: 1} },
+		Stream(DefaultStream, "a", "b"))
+	topo.AddOp("buf", 1, func() Operator { return &bufferingOp{} },
+		Stream(DefaultStream, "a", "b")).
+		SubDefault("src", Shuffle())
+	topo.AddOp("pass", 1, func() Operator {
+		return ProcessFunc(func(ctx Context, tp Tuple) { ctx.Emit(tp.Values...) })
+	}, Stream(DefaultStream, "a", "b")).
+		SubDefault("buf", Shuffle())
+	topo.AddOp("sink", 1, func() Operator {
+		return ProcessFunc(func(Context, Tuple) { got++ })
+	}).SubDefault("pass", Shuffle())
+
+	chained, fused, err := ChainTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(fused, ","), "buf->pass") {
+		t.Fatalf("flusher pair not fused: %v", fused)
+	}
+	res, err := RunSim(chained, SimConfig{System: Flink(), Seed: 1, Sockets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 || res.SinkEvents != 30 {
+		t.Fatalf("sink saw %d/%d tuples; flush lost data through the chain", got, res.SinkEvents)
+	}
+}
+
+func TestFuseProfileScalesBySelectivity(t *testing.T) {
+	head := WorkProfile{CodeBytes: 10, UopsPerTuple: 100, Selectivity: 4}
+	tail := WorkProfile{CodeBytes: 20, UopsPerTuple: 50, AvgTupleBytes: 96}
+	f := fuseProfile(head, tail)
+	if f.CodeBytes != 30 {
+		t.Fatalf("code = %d", f.CodeBytes)
+	}
+	if f.UopsPerTuple != 100+200 {
+		t.Fatalf("uops = %d, want 300 (tail scaled by selectivity 4)", f.UopsPerTuple)
+	}
+	if f.EffSelectivity() != 4 {
+		t.Fatalf("selectivity = %v, want 4 (tail default 1)", f.EffSelectivity())
+	}
+	if f.AvgTupleBytes != 96 {
+		t.Fatalf("tuple bytes = %d, want tail's 96", f.AvgTupleBytes)
+	}
+}

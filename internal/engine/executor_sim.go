@@ -1,0 +1,669 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamscale/internal/hw"
+	"streamscale/internal/metrics"
+	"streamscale/internal/sim"
+)
+
+// simEdge routes one stream of one producer executor to a consumer
+// operator's executors in the simulated runtime.
+type simEdge struct {
+	router    *edgeRouter
+	stream    string
+	consumers []*simExecutor
+	system    bool
+}
+
+// delivery is one routed message awaiting space in a consumer queue.
+type delivery struct {
+	q   *simQueue
+	msg Msg
+}
+
+type execStage int
+
+const (
+	stageRun execStage = iota
+	stageFinish
+	stageDone
+)
+
+// simExecutor is one executor thread in the simulated runtime. It
+// implements sim.Runner: the scheduler calls Step, and all work performed
+// during the step is charged to the simulated machine in cycles.
+type simExecutor struct {
+	rt     *simRuntime
+	node   *Node
+	index  int
+	global int
+
+	op  Operator
+	src Source
+
+	in         *simQueue
+	nProducers int
+	eosSeen    int
+	edges      map[string][]*simEdge
+
+	thread  *sim.Thread
+	curCore int
+
+	rng     *rand.Rand
+	ctx     *simCtx
+	buffers map[string][]Tuple
+	ackAck  map[int64]int64
+
+	// costs accumulates this executor's Table II charges for the run.
+	costs    hw.CostVec
+	consumed sim.Cycles // cycles consumed in the current step
+	stepAt   sim.Cycles // kernel time at step start
+
+	stateBase   uint64
+	stateSocket int
+	scratchBase uint64
+	scratchSize int
+	classAddr   uint64
+	prepared    bool
+	srcDone     bool
+	stage       execStage
+
+	pending    []delivery
+	pendingEOS bool
+
+	invocations int64
+	tuples      int64
+	procCycles  sim.Cycles
+	waitCycles  sim.Cycles // queue sojourn of processed messages
+	firstTuple  sim.Cycles // wall span of the executor's active period
+	lastTuple   sim.Cycles
+
+	// nextEmit is the next arrival instant under open-loop source pacing.
+	nextEmit sim.Cycles
+
+	// Flink barrier alignment: checkpoint id -> producers seen.
+	barrierSeen map[int64]int
+	nextBarrier sim.Cycles
+	barrierID   int64
+
+	latency *metrics.Histogram
+	isSink  bool
+	sinkN   int64
+}
+
+func newSimExecutor(rt *simRuntime, n *Node, index, global int) *simExecutor {
+	e := &simExecutor{
+		rt: rt, node: n, index: index, global: global,
+		rng:         rand.New(rand.NewSource(rt.cfg.Seed + int64(global)*7919 + 11)),
+		buffers:     make(map[string][]Tuple),
+		edges:       make(map[string][]*simEdge),
+		latency:     metrics.NewHistogram(1 << 14),
+		isSink:      isSink(n),
+		stateSocket: -1,
+		barrierSeen: make(map[int64]int),
+	}
+	if n.IsSource() {
+		e.src = n.NewSource()
+	} else {
+		e.op = n.NewOp()
+	}
+	return e
+}
+
+// now returns the current simulated instant within this step.
+func (e *simExecutor) now() sim.Cycles { return e.stepAt + e.consumed }
+
+// Step implements sim.Runner.
+func (e *simExecutor) Step(quantum sim.Cycles) (sim.Cycles, sim.Disposition) {
+	e.consumed = 0
+	e.stepAt = e.rt.kernel.Now()
+	if !e.prepared {
+		e.prepare()
+	}
+	if !e.flushPending() {
+		return e.consumed, sim.Blocked
+	}
+	if e.stage == stageFinish {
+		return e.completeFinish()
+	}
+	for e.consumed < quantum {
+		if e.src != nil {
+			if e.srcDone {
+				return e.beginFinish()
+			}
+			if rate := e.rt.cfg.SourceRate; rate > 0 && e.now() < e.nextEmit {
+				// Open-loop pacing: sleep until the next arrival instant.
+				at := e.nextEmit
+				th := e.thread
+				e.rt.kernel.At(at, func() { e.rt.sched.Wake(th) })
+				return e.consumed, sim.Blocked
+			}
+			e.maybeEmitBarrier()
+			before := e.rt.sourceEvents
+			if !e.sourceInvocation() {
+				e.srcDone = true
+			}
+			if rate := e.rt.cfg.SourceRate; rate > 0 {
+				emitted := e.rt.sourceEvents - before
+				gap := sim.Cycles(float64(emitted) / rate * float64(e.rt.cfg.Spec.ClockHz))
+				if e.nextEmit == 0 {
+					e.nextEmit = e.stepAt
+				}
+				e.nextEmit += gap
+			}
+		} else {
+			msg, slot, ok := e.in.tryPop()
+			if !ok {
+				if e.eosSeen == e.nProducers {
+					return e.beginFinish()
+				}
+				e.in.awaitData(e.thread)
+				return e.consumed, sim.Blocked
+			}
+			e.access(e.in.slotAddr(slot), e.in.slotBytes)
+			e.handleMsg(msg)
+		}
+		if !e.flushPending() {
+			return e.consumed, sim.Blocked
+		}
+	}
+	return e.consumed, sim.Yield
+}
+
+func (e *simExecutor) prepare() {
+	e.prepared = true
+	e.classAddr = e.rt.meta.ClassID(e.node.Name)
+	// First-touch allocation of executor-private state on the socket the
+	// thread happens to start on — exactly how an unaware JVM behaves.
+	// Shared state is allocated once for the whole operator by whichever
+	// executor prepares first.
+	e.stateSocket = e.rt.machine.SocketOfCore(e.curCore)
+	if p := &e.node.Profile; p.StateBytes > 0 {
+		if p.SharedState {
+			if base, ok := e.rt.sharedState[e.node.Name]; ok {
+				e.stateBase = base
+			} else {
+				e.stateBase = e.allocRaw(p.StateBytes)
+				e.rt.sharedState[e.node.Name] = e.stateBase
+			}
+		} else {
+			e.stateBase = e.allocRaw(p.StateBytes)
+		}
+	}
+	e.ctx = &simCtx{ex: e}
+	if e.src != nil {
+		e.src.Prepare(e.ctx)
+		if iv := e.rt.cfg.System.CheckpointInterval; iv > 0 {
+			e.nextBarrier = iv
+		}
+	} else {
+		e.op.Prepare(e.ctx)
+	}
+}
+
+// allocRaw allocates long-lived (tenured) memory on the executor's current
+// socket — operator state maps, windows, and similar structures that
+// survive across tuples.
+func (e *simExecutor) allocRaw(size int) uint64 {
+	return e.rt.heap.AllocTenured(e.rt.machine.SocketOfCore(e.curCore), size)
+}
+
+// alloc allocates tuple/garbage memory, charging any GC pause triggered.
+func (e *simExecutor) alloc(size int) uint64 {
+	addr, pause := e.rt.heap.Alloc(e.rt.machine.SocketOfCore(e.curCore), size)
+	if pause > 0 {
+		e.consumed += pause
+	}
+	return addr
+}
+
+func (e *simExecutor) access(addr uint64, size int) {
+	e.consumed += e.rt.machine.DataAccess(e.curCore, addr, size, e.now(), &e.costs)
+}
+
+func (e *simExecutor) write(addr uint64, size int) {
+	e.consumed += e.rt.machine.DataWrite(e.curCore, addr, size, e.now(), &e.costs)
+}
+
+func (e *simExecutor) fetchRegion(r *codeRegion) {
+	// Invocations take data-dependent paths: each executes a variable
+	// extent of the region's code.
+	bytes := r.bytes
+	if bytes > 2048 {
+		bytes = int(float64(bytes) * (0.55 + 0.45*e.rng.Float64()))
+	}
+	fp := e.rt.machine.NoteInvocation(e.curCore, r.id, bytes)
+	e.rt.profile.NoteFootprint(fp)
+	e.consumed += e.rt.machine.FetchCode(e.curCore, r.base, bytes, e.now(), &e.costs)
+}
+
+func (e *simExecutor) compute(uops, branches int) {
+	mis := e.mispredicts(branches)
+	e.consumed += e.rt.machine.Compute(uops, mis, &e.costs)
+}
+
+func (e *simExecutor) mispredicts(branches int) int {
+	rate := e.rt.cfg.System.MispredictRate
+	if branches <= 0 || rate <= 0 {
+		return 0
+	}
+	exp := float64(branches) * rate
+	mis := int(exp)
+	if e.rng.Float64() < exp-float64(mis) {
+		mis++
+	}
+	return mis
+}
+
+// chargeInvocationOverhead models one executor invocation's framework work:
+// the platform hot path plus the operator's own code are fetched through
+// the instruction hierarchy, and dispatch computation is charged.
+func (e *simExecutor) chargeInvocationOverhead() {
+	e.invocations++
+	hot := e.rt.hotRegions
+	uops := e.rt.cfg.System.UopsPerInvoke
+	if e.node.System {
+		// System operators (the acker) run a lean dispatch path: Storm's
+		// acker is a minimal system bolt, not a full user executor.
+		if len(hot) > 2 {
+			hot = hot[:2]
+		}
+		uops /= 2
+	}
+	for _, r := range hot {
+		e.fetchRegion(r)
+	}
+	e.fetchRegion(e.rt.userRegions[e.node.Name])
+	e.compute(uops, 4)
+	for i, r := range e.rt.coldRegions {
+		if every := e.rt.coldEvery[i]; every > 0 && e.invocations%int64(every) == 0 {
+			e.fetchRegion(r)
+		}
+	}
+}
+
+// chargeTupleOverhead models per-tuple framework and profile costs: the
+// pass-by-reference payload dereference (possibly remote), invokevirtual
+// metadata lookups, private state accesses, and computation.
+func (e *simExecutor) chargeTupleOverhead(t *Tuple) {
+	sys := &e.rt.cfg.System
+	p := &e.node.Profile
+	if t.Addr != 0 {
+		e.access(t.Addr, int(t.Size))
+	}
+	for i := 0; i < sys.MetadataAccessesPerTuple; i++ {
+		base := e.classAddr
+		if i > 0 {
+			base = e.rt.frameworkClasses[(i-1)%len(e.rt.frameworkClasses)]
+		}
+		e.access(base+uint64(e.rng.Intn(512))*8, 8)
+	}
+	for i := 0; i < p.StateAccessesPerTuple && p.StateBytes > 0; i++ {
+		e.access(e.stateBase+uint64(e.rng.Intn(p.StateBytes/8))*8, 8)
+	}
+	e.compute(p.UopsPerTuple+sys.UopsPerTuple, p.BranchesPerTuple+sys.BranchesPerTuple)
+	if p.ExtraAllocPerTuple > 0 {
+		addr := e.alloc(p.ExtraAllocPerTuple)
+		e.write(addr, min(p.ExtraAllocPerTuple, 64))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sourceInvocation emits up to BatchSize tuples; returns false at source
+// exhaustion.
+func (e *simExecutor) sourceInvocation() bool {
+	e.chargeInvocationOverhead()
+	target := e.rt.cfg.BatchSize
+	n := 0
+	alive := true
+	for n < target && alive {
+		before := len(e.buffers[DefaultStream]) + e.otherBuffered()
+		alive = e.src.Next(e.ctx)
+		n += len(e.buffers[DefaultStream]) + e.otherBuffered() - before
+	}
+	e.endInvocation()
+	return alive
+}
+
+func (e *simExecutor) otherBuffered() int {
+	n := 0
+	for s, b := range e.buffers {
+		if s != DefaultStream {
+			n += len(b)
+		}
+	}
+	return n
+}
+
+func (e *simExecutor) handleMsg(msg Msg) {
+	if msg.EOS {
+		e.eosSeen++
+		return
+	}
+	if msg.Barrier != 0 {
+		e.handleBarrier(msg.Barrier)
+		return
+	}
+	if limit, ok := e.rt.cfg.FailAfter[e.global]; ok && e.tuples >= limit {
+		// Injected failure: the executor zombies — it keeps draining its
+		// queue (so upstream backpressure resolves) but drops everything.
+		e.tuples += int64(len(msg.Batch))
+		e.compute(40, 1)
+		return
+	}
+	start := e.consumed
+	if msg.EnqueuedAt > 0 {
+		if wait := e.now() - sim.Cycles(msg.EnqueuedAt); wait > 0 {
+			e.waitCycles += wait * sim.Cycles(len(msg.Batch))
+		}
+	}
+	e.chargeInvocationOverhead()
+	for i := range msg.Batch {
+		t := &msg.Batch[i]
+		e.ctx.curInput = t
+		e.ctx.inOp, e.ctx.inStream = msg.FromOp, msg.Stream
+		if e.ackTracking() {
+			e.accumAck(t.Root, t.Edge)
+		}
+		e.chargeTupleOverhead(t)
+		if e.isSink {
+			e.observeSink(t)
+		}
+		e.op.Process(e.ctx, *t)
+	}
+	e.ctx.curInput = nil
+	if e.tuples == 0 {
+		e.firstTuple = e.stepAt + start
+	}
+	e.tuples += int64(len(msg.Batch))
+	e.endInvocation()
+	e.procCycles += e.consumed - start
+	e.lastTuple = e.now()
+}
+
+func (e *simExecutor) ackTracking() bool {
+	return e.rt.cfg.System.AckEnabled && !e.node.System
+}
+
+func (e *simExecutor) accumAck(root, edge int64) {
+	if root == 0 {
+		return // unanchored tuple tree
+	}
+	if e.ackAck == nil {
+		e.ackAck = make(map[int64]int64)
+	}
+	e.ackAck[root] ^= edge
+}
+
+func (e *simExecutor) observeSink(t *Tuple) {
+	e.sinkN++
+	e.rt.sinkEvents++
+	if e.sinkN%int64(e.rt.cfg.LatencySampleEvery) == 0 {
+		// Step execution windows overlap, so a tuple can be observed up to
+		// one quantum before its producer's window closes; clamp at zero.
+		lat := e.now() - sim.Cycles(t.Born)
+		if lat < 0 {
+			lat = 0
+		}
+		e.latency.Observe(lat.Millis(e.rt.cfg.Spec.ClockHz))
+	}
+}
+
+// endInvocation routes everything emitted during the invocation (Algorithm
+// 1 batching), assigns ack edges per delivered copy, generates ack
+// messages, and enqueues deliveries.
+func (e *simExecutor) endInvocation() {
+	for _, s := range e.node.Streams {
+		buf := e.buffers[s.Name]
+		if len(buf) == 0 {
+			continue
+		}
+		e.buffers[s.Name] = nil
+		e.routeBuffer(s.Name, buf)
+	}
+	e.flushAcks()
+}
+
+func (e *simExecutor) routeBuffer(stream string, buf []Tuple) {
+	for _, ed := range e.edges[stream] {
+		for _, b := range ed.router.route(buf, e.batchCap(stream)) {
+			if e.ackTracking() && !ed.system {
+				for i := range b.Tuples {
+					edge := e.rng.Int63()
+					b.Tuples[i].Edge = edge
+					e.accumAck(b.Tuples[i].Root, edge)
+				}
+			}
+			e.pending = append(e.pending, delivery{
+				q: ed.consumers[b.Consumer].in,
+				msg: Msg{
+					FromGlobal: e.global, FromOp: e.node.Name,
+					Stream: stream, Batch: b.Tuples,
+				},
+			})
+		}
+	}
+}
+
+func (e *simExecutor) batchCap(stream string) int {
+	if stream == AckStream {
+		return 0
+	}
+	return 4 * e.rt.cfg.BatchSize
+}
+
+func (e *simExecutor) flushAcks() {
+	if len(e.ackAck) == 0 {
+		return
+	}
+	accum := e.ackAck
+	e.ackAck = nil
+	var buf []Tuple
+	for _, root := range sortedRoots(accum) {
+		vals := []Value{root, accum[root]}
+		t := Tuple{Values: vals, Root: root, Size: int32(TupleBytes(vals))}
+		t.Addr = e.alloc(int(t.Size))
+		e.write(t.Addr, int(t.Size))
+		e.compute(e.node.Profile.UopsPerEmit+120, 2)
+		buf = append(buf, t)
+	}
+	e.routeBuffer(AckStream, buf)
+}
+
+// flushPending pushes queued deliveries; false means blocked on a full
+// consumer queue.
+func (e *simExecutor) flushPending() bool {
+	sys := &e.rt.cfg.System
+	for len(e.pending) > 0 {
+		d := e.pending[0]
+		d.msg.EnqueuedAt = int64(e.now())
+		slot, ok := d.q.tryPush(d.msg)
+		if !ok {
+			d.q.awaitSpace(e.thread)
+			return false
+		}
+		e.write(d.q.slotAddr(slot), d.q.slotBytes)
+		// Per-delivery framework cost: buffer claim/publish plus the
+		// per-byte (de)serialization of the batch's payload.
+		bytes := 0
+		for i := range d.msg.Batch {
+			bytes += int(d.msg.Batch[i].Size)
+		}
+		e.compute(sys.DeliveryUops+int(float64(bytes)*sys.DeliveryUopsPerByte), 3)
+		e.pending = e.pending[1:]
+	}
+	e.pending = nil
+	return true
+}
+
+// beginFinish runs the operator's flush and stages EOS broadcasts.
+func (e *simExecutor) beginFinish() (sim.Cycles, sim.Disposition) {
+	e.stage = stageFinish
+	if f, ok := e.op.(Flusher); ok {
+		e.ctx.curInput = nil
+		e.chargeInvocationOverhead()
+		f.Flush(e.ctx)
+		e.endInvocation()
+	}
+	for _, s := range e.node.Streams {
+		for _, ed := range e.edges[s.Name] {
+			for _, c := range ed.consumers {
+				e.pending = append(e.pending, delivery{
+					q:   c.in,
+					msg: Msg{FromGlobal: e.global, FromOp: e.node.Name, Stream: s.Name, EOS: true},
+				})
+			}
+		}
+	}
+	if !e.flushPending() {
+		return e.consumed, sim.Blocked
+	}
+	return e.completeFinish()
+}
+
+func (e *simExecutor) completeFinish() (sim.Cycles, sim.Disposition) {
+	e.stage = stageDone
+	if e.consumed == 0 {
+		e.consumed = 1
+	}
+	return e.consumed, sim.Done
+}
+
+// maybeEmitBarrier injects a checkpoint barrier from a source executor.
+func (e *simExecutor) maybeEmitBarrier() {
+	iv := e.rt.cfg.System.CheckpointInterval
+	if iv <= 0 || e.now() < e.nextBarrier {
+		return
+	}
+	e.nextBarrier += iv
+	e.barrierID++
+	e.broadcastBarrier(e.barrierID)
+}
+
+func (e *simExecutor) broadcastBarrier(id int64) {
+	for _, s := range e.node.Streams {
+		if s.Name == AckStream {
+			continue
+		}
+		for _, ed := range e.edges[s.Name] {
+			for _, c := range ed.consumers {
+				e.pending = append(e.pending, delivery{
+					q:   c.in,
+					msg: Msg{FromGlobal: e.global, FromOp: e.node.Name, Stream: s.Name, Barrier: id},
+				})
+			}
+		}
+	}
+}
+
+// handleBarrier aligns barriers from all producers, snapshots state, and
+// forwards the barrier downstream (Flink's checkpointing).
+func (e *simExecutor) handleBarrier(id int64) {
+	e.barrierSeen[id]++
+	if e.barrierSeen[id] < e.nProducers {
+		return
+	}
+	delete(e.barrierSeen, id)
+	p := &e.node.Profile
+	sys := &e.rt.cfg.System
+	snapUops := int(sys.SnapshotUopsPerStateByte * float64(p.StateBytes))
+	e.compute(snapUops, 8)
+	if p.StateBytes > 0 {
+		// Sweep a quarter of the state working set (dirty regions).
+		sweep := p.StateBytes / 4
+		for off := 0; off < sweep; off += 256 {
+			e.access(e.stateBase+uint64(off), 8)
+		}
+	}
+	e.broadcastBarrier(id)
+}
+
+// simCtx implements Context for the simulated runtime.
+type simCtx struct {
+	ex       *simExecutor
+	curInput *Tuple
+	inOp     string
+	inStream string
+}
+
+func (c *simCtx) Emit(values ...Value) { c.EmitTo(DefaultStream, values...) }
+
+func (c *simCtx) EmitTo(stream string, values ...Value) {
+	e := c.ex
+	if _, ok := e.node.OutStream(stream); !ok {
+		panic(fmt.Sprintf("engine: %q emits to undeclared stream %q", e.node.Name, stream))
+	}
+	t := Tuple{Values: values, Size: int32(TupleBytes(values))}
+	if c.curInput != nil {
+		t.Born = c.curInput.Born
+		t.Root = c.curInput.Root
+	} else {
+		t.Born = int64(e.now())
+		if e.node.IsSource() {
+			e.rt.rootCtr++
+			t.Root = e.rt.rootCtr
+		}
+		// Non-source emissions without an input anchor (e.g. Flush) are
+		// unanchored, as in Storm: Root stays 0 and is never ack-tracked.
+	}
+	// Output data is written to the producer's local memory (Fig 3 step 1).
+	t.Addr = e.alloc(int(t.Size))
+	e.write(t.Addr, int(t.Size))
+	e.compute(e.node.Profile.UopsPerEmit, 3)
+	if e.node.IsSource() && stream != AckStream {
+		e.rt.sourceEvents++
+	}
+	e.buffers[stream] = append(e.buffers[stream], t)
+}
+
+func (c *simCtx) ExecutorID() int         { return c.ex.index }
+func (c *simCtx) Parallelism() int        { return c.ex.node.Parallelism }
+func (c *simCtx) OperatorName() string    { return c.ex.node.Name }
+func (c *simCtx) Rand() *rand.Rand        { return c.ex.rng }
+func (c *simCtx) Input() (string, string) { return c.inOp, c.inStream }
+
+func (c *simCtx) Work(uops, branches int) { c.ex.compute(uops, branches) }
+
+func (c *simCtx) ScanState(bytes int) {
+	e := c.ex
+	if e.node.Profile.StateBytes <= 0 || bytes <= 0 {
+		return
+	}
+	if max := e.node.Profile.StateBytes; bytes > max {
+		bytes = max
+	}
+	e.consumed += e.rt.machine.StreamAccess(e.curCore, e.stateBase, bytes, e.now(), &e.costs)
+}
+
+func (c *simCtx) ScanScratch(bytes int) {
+	e := c.ex
+	if bytes <= 0 {
+		return
+	}
+	if bytes > e.scratchSize {
+		e.scratchBase = e.allocRaw(bytes)
+		e.scratchSize = bytes
+	}
+	e.consumed += e.rt.machine.StreamAccess(e.curCore, e.scratchBase, bytes, e.now(), &e.costs)
+}
+
+func (c *simCtx) AccessState(bytes int) {
+	e := c.ex
+	p := &e.node.Profile
+	if p.StateBytes <= 0 || bytes <= 0 {
+		return
+	}
+	lines := (bytes + 63) / 64
+	for i := 0; i < lines; i++ {
+		e.access(e.stateBase+uint64(e.rng.Intn(p.StateBytes/8))*8, 8)
+	}
+}

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// GroupKind enumerates the stream partitioning strategies of §II-B.
+type GroupKind int
+
+const (
+	// GroupShuffle distributes tuples uniformly (round-robin) across the
+	// consumer's executors.
+	GroupShuffle GroupKind = iota
+	// GroupFields routes by the hash of selected key fields, so the same
+	// key always reaches the same executor.
+	GroupFields
+	// GroupGlobal sends every tuple to executor 0 of the consumer.
+	GroupGlobal
+	// GroupAll replicates every tuple to all executors of the consumer.
+	GroupAll
+)
+
+func (k GroupKind) String() string {
+	switch k {
+	case GroupShuffle:
+		return "shuffle"
+	case GroupFields:
+		return "fields"
+	case GroupGlobal:
+		return "global"
+	case GroupAll:
+		return "all"
+	}
+	return fmt.Sprintf("grouping(%d)", int(k))
+}
+
+// Grouping selects how a subscription partitions a stream.
+type Grouping struct {
+	Kind   GroupKind
+	Fields []string // key field names, for GroupFields
+}
+
+// Shuffle returns a shuffle grouping.
+func Shuffle() Grouping { return Grouping{Kind: GroupShuffle} }
+
+// Fields returns a fields (key) grouping on the named fields.
+func Fields(fields ...string) Grouping {
+	if len(fields) == 0 {
+		panic("engine: fields grouping needs at least one field")
+	}
+	return Grouping{Kind: GroupFields, Fields: fields}
+}
+
+// Global returns a global grouping (everything to executor 0).
+func Global() Grouping { return Grouping{Kind: GroupGlobal} }
+
+// All returns an all grouping (replicate to every executor).
+func All() Grouping { return Grouping{Kind: GroupAll} }
+
+// HashValue hashes one grouping key field. It is stable across runs and
+// platforms (FNV-1a), which fields grouping correctness depends on.
+func HashValue(v Value) uint64 {
+	h := fnv.New64a()
+	switch x := v.(type) {
+	case string:
+		h.Write([]byte(x))
+	case int:
+		writeU64(h, uint64(x))
+	case int32:
+		writeU64(h, uint64(x))
+	case int64:
+		writeU64(h, uint64(x))
+	case uint64:
+		writeU64(h, x)
+	case float64:
+		writeU64(h, math.Float64bits(x))
+	case bool:
+		if x {
+			writeU64(h, 1)
+		} else {
+			writeU64(h, 0)
+		}
+	default:
+		panic(fmt.Sprintf("engine: unhashable grouping key type %T", v))
+	}
+	return h.Sum64()
+}
+
+func writeU64(h interface{ Write([]byte) (int, error) }, x uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(x >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+// HashFields combines the selected field indices of a tuple into one key
+// hash, the paper's Algorithm 1 "Combine" step.
+func HashFields(values []Value, idx []int) uint64 {
+	var acc uint64 = 1469598103934665603 // FNV offset basis
+	for _, i := range idx {
+		acc = acc*1099511628211 ^ HashValue(values[i])
+	}
+	return acc
+}

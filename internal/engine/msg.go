@@ -1,0 +1,20 @@
+package engine
+
+// Msg is the unit of transfer between executors: a batch of tuples from one
+// producer executor on one stream, or an end-of-stream marker.
+type Msg struct {
+	// FromGlobal is the producing executor's global index.
+	FromGlobal int
+	// FromOp and Stream identify the producing operator and stream.
+	FromOp string
+	Stream string
+	// Batch is nil for EOS messages.
+	Batch []Tuple
+	// EOS marks the producer executor's end of stream.
+	EOS bool
+	// Barrier carries a Flink-style checkpoint barrier ID (0 = none).
+	Barrier int64
+	// EnqueuedAt is the simulated time the message was pushed (sim runtime
+	// only), for queue-sojourn accounting.
+	EnqueuedAt int64
+}

@@ -1,0 +1,87 @@
+package engine
+
+import "streamscale/internal/sim"
+
+// simQueue is a bounded executor input queue for the simulated runtime: a
+// ring of messages with blocking semantics expressed through the simulated
+// scheduler. The ring buffer itself occupies simulated memory (on the
+// consumer's socket, like a Storm disruptor queue owned by its executor),
+// so push/pop traffic participates in the cache and NUMA model.
+type simQueue struct {
+	buf       []Msg
+	head, n   int
+	baseAddr  uint64
+	slotBytes int
+
+	waitData  *sim.Thread
+	waitSpace []*sim.Thread
+	sched     *sim.Scheduler
+}
+
+func newSimQueue(capacity int, base uint64, sched *sim.Scheduler) *simQueue {
+	return &simQueue{
+		buf:       make([]Msg, capacity),
+		baseAddr:  base,
+		slotBytes: 32, // a tuple-batch reference + sequence bookkeeping
+		sched:     sched,
+	}
+}
+
+// slotAddr returns the simulated address of ring slot i.
+func (q *simQueue) slotAddr(i int) uint64 {
+	return q.baseAddr + uint64(i)*uint64(q.slotBytes)
+}
+
+// tryPush appends a message. On success it returns the written slot index
+// and wakes a waiting consumer; on a full queue it returns ok=false.
+func (q *simQueue) tryPush(m Msg) (slot int, ok bool) {
+	if q.n == len(q.buf) {
+		return 0, false
+	}
+	slot = (q.head + q.n) % len(q.buf)
+	q.buf[slot] = m
+	q.n++
+	if q.waitData != nil {
+		w := q.waitData
+		q.waitData = nil
+		q.sched.Wake(w)
+	}
+	return slot, true
+}
+
+// tryPop removes the oldest message. On success it wakes writers blocked on
+// a full ring.
+func (q *simQueue) tryPop() (m Msg, slot int, ok bool) {
+	if q.n == 0 {
+		return Msg{}, 0, false
+	}
+	slot = q.head
+	m = q.buf[slot]
+	q.buf[slot] = Msg{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	if len(q.waitSpace) > 0 {
+		ws := q.waitSpace
+		q.waitSpace = nil
+		for _, w := range ws {
+			q.sched.Wake(w)
+		}
+	}
+	return m, slot, true
+}
+
+// awaitData registers the consumer thread to be woken on the next push.
+func (q *simQueue) awaitData(t *sim.Thread) { q.waitData = t }
+
+// awaitSpace registers a producer thread to be woken on the next pop.
+func (q *simQueue) awaitSpace(t *sim.Thread) {
+	for _, w := range q.waitSpace {
+		if w == t {
+			return
+		}
+	}
+	q.waitSpace = append(q.waitSpace, t)
+}
+
+// len reports queued messages.
+func (q *simQueue) size() int { return q.n }

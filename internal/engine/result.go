@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"fmt"
+
+	"streamscale/internal/metrics"
+	"streamscale/internal/profiler"
+)
+
+// ExecStat summarizes one executor's run.
+type ExecStat struct {
+	Op     string
+	Index  int
+	Socket int // -1 when unplaced / native
+	// Tuples is the number of input tuples processed (source: emitted).
+	Tuples int64
+	// MeanTupleMs is the mean processing time charged per tuple
+	// (simulated runtime only) — the paper's Fig 10 "process latency".
+	MeanTupleMs float64
+}
+
+// Result is the outcome of one topology run on either runtime.
+type Result struct {
+	App    string
+	System string
+
+	// SourceEvents is the number of events emitted by data sources; the
+	// paper's throughput metric counts these.
+	SourceEvents int64
+	// SinkEvents is the number of tuples received at sink operators.
+	SinkEvents int64
+	// ElapsedSeconds is wall (native) or simulated (sim) run duration.
+	ElapsedSeconds float64
+
+	// Latency is the end-to-end tuple latency distribution in ms.
+	Latency *metrics.Histogram
+
+	// Profile is the processor-time account (simulated runtime only).
+	Profile *profiler.Profile
+	// OperatorProfiles breaks the account down per operator (sim only).
+	OperatorProfiles map[string]*profiler.Profile
+	// CPUUtil is mean core utilization over enabled cores (sim only).
+	CPUUtil float64
+	// MemUtil is mean DRAM bandwidth utilization over enabled sockets.
+	MemUtil float64
+	// QPIBytes is total cross-socket traffic (sim only).
+	QPIBytes uint64
+
+	// AckerCompleted counts fully XOR-acked tuple trees (Storm profile).
+	AckerCompleted int64
+	// MinorGCs and GCShare report the collector's activity (sim only).
+	MinorGCs int64
+	GCShare  float64
+
+	Executors []ExecStat
+}
+
+// Throughput returns source events per second.
+func (r *Result) Throughput() metrics.Throughput {
+	return metrics.Throughput{Events: r.SourceEvents, Seconds: r.ElapsedSeconds}
+}
+
+// ExecStatsFor returns the stats of all executors of one operator.
+func (r *Result) ExecStatsFor(op string) []ExecStat {
+	var out []ExecStat
+	for _, e := range r.Executors {
+		if e.Op == op {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MeanExecLatencyMs returns the mean and population standard deviation of
+// per-executor mean tuple processing latencies for one operator — the two
+// series of the paper's Figure 10a.
+func (r *Result) MeanExecLatencyMs(op string) (mean, stddev float64) {
+	h := metrics.NewHistogram(0)
+	for _, e := range r.ExecStatsFor(op) {
+		h.Observe(e.MeanTupleMs)
+	}
+	return h.Mean(), h.Stddev()
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: %s, %d sink events, p50 %.2f ms",
+		r.App, r.System, r.Throughput(), r.SinkEvents, r.Latency.Quantile(0.5))
+}

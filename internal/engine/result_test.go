@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"streamscale/internal/metrics"
+)
+
+func TestResultThroughputAndStats(t *testing.T) {
+	r := &Result{
+		App: "wc", System: "storm",
+		SourceEvents: 10_000, SinkEvents: 40_000,
+		ElapsedSeconds: 2,
+		Latency:        metrics.NewHistogram(0),
+		Executors: []ExecStat{
+			{Op: "count", Index: 0, Socket: 0, Tuples: 100, MeanTupleMs: 2},
+			{Op: "count", Index: 1, Socket: 1, Tuples: 100, MeanTupleMs: 4},
+			{Op: "split", Index: 0, Socket: 0, Tuples: 50, MeanTupleMs: 1},
+		},
+	}
+	r.Latency.Observe(3)
+	if got := r.Throughput().KPerSecond(); got != 5 {
+		t.Fatalf("throughput = %v k/s, want 5", got)
+	}
+	if got := len(r.ExecStatsFor("count")); got != 2 {
+		t.Fatalf("count executors = %d, want 2", got)
+	}
+	mean, sd := r.MeanExecLatencyMs("count")
+	if mean != 3 || sd != 1 {
+		t.Fatalf("exec latency mean/sd = %v/%v, want 3/1", mean, sd)
+	}
+	if s := r.String(); !strings.Contains(s, "wc/storm") {
+		t.Fatalf("render malformed: %s", s)
+	}
+}
+
+func TestExecGraphOrdering(t *testing.T) {
+	topo := wcTopology(5, func() Operator { return nopOp{} })
+	refs := ExecGraph(topo)
+	// 2 source + 3 split + 2 count + 1 sink = 8 executors, globals 0..7.
+	if len(refs) != 8 {
+		t.Fatalf("executors = %d, want 8", len(refs))
+	}
+	for i, r := range refs {
+		if r.Global != i {
+			t.Fatalf("ref %d has global %d", i, r.Global)
+		}
+	}
+	if refs[0].Op != "source" || refs[7].Op != "sink" {
+		t.Fatalf("ordering broken: first=%s last=%s", refs[0].Op, refs[7].Op)
+	}
+}
+
+func TestValueBytesCoverage(t *testing.T) {
+	cases := []struct {
+		v   Value
+		min int
+	}{
+		{nil, 8}, {true, 8}, {int8(1), 8}, {uint8(1), 8},
+		{int32(1), 8}, {uint32(1), 8}, {float32(1), 8},
+		{[]byte("abc"), 27}, {[]Value{int64(1), "ab"}, 24 + 8 + 26},
+		{struct{}{}, 16},
+	}
+	for _, c := range cases {
+		if got := ValueBytes(c.v); got < c.min {
+			t.Fatalf("ValueBytes(%T) = %d, want >= %d", c.v, got, c.min)
+		}
+	}
+}
+
+func TestEffProfileDefaults(t *testing.T) {
+	var p WorkProfile
+	if p.EffSelectivity() != 1.0 || p.EffTupleBytes() != 64 {
+		t.Fatal("zero profile defaults wrong")
+	}
+	p.Selectivity, p.AvgTupleBytes = 3, 128
+	if p.EffSelectivity() != 3 || p.EffTupleBytes() != 128 {
+		t.Fatal("explicit profile values ignored")
+	}
+}

@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamscale/internal/metrics"
+)
+
+// NativeConfig configures a run on the native (goroutine) runtime.
+type NativeConfig struct {
+	// System selects the engine profile; only its acking/batching plumbing
+	// affects the native runtime (the cost model is simulation-only).
+	System SystemProfile
+	// BatchSize is the source batch size S of the paper's §VI-A;
+	// 1 (or 0) disables batching.
+	BatchSize int
+	// QueueCap overrides the profile's executor queue capacity.
+	QueueCap int
+	// Seed drives all per-executor randomness.
+	Seed int64
+	// LatencySampleEvery samples end-to-end latency every n-th sink tuple
+	// (default 16).
+	LatencySampleEvery int
+}
+
+func (c *NativeConfig) fill() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = c.System.QueueCap
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.LatencySampleEvery <= 0 {
+		c.LatencySampleEvery = 16
+	}
+}
+
+// RunNative executes the topology with real goroutines and channels and
+// returns measured wall-clock results. It blocks until all sources are
+// exhausted and the pipeline has fully drained.
+func RunNative(t *Topology, cfg NativeConfig) (*Result, error) {
+	cfg.fill()
+	xt, err := BuildExecTopology(t, cfg.System)
+	if err != nil {
+		return nil, err
+	}
+	rt := &nativeRuntime{cfg: cfg, topo: xt}
+	rt.build()
+	return rt.run(t.Name)
+}
+
+type nativeRuntime struct {
+	cfg  NativeConfig
+	topo *Topology
+
+	execs   []*nativeExec
+	byOp    map[string][]*nativeExec
+	rootCtr int64
+
+	sourceEvents int64
+	sinkEvents   int64
+}
+
+type nativeEdge struct {
+	router    *edgeRouter
+	stream    string
+	consumers []*nativeExec
+	system    bool // consumer is a system node (acker): no ack tracking
+}
+
+type nativeExec struct {
+	rt     *nativeRuntime
+	node   *Node
+	index  int
+	global int
+
+	op  Operator
+	src Source
+
+	in         chan Msg
+	nProducers int
+	edges      map[string][]*nativeEdge // by stream name
+
+	rng     *rand.Rand
+	latency *metrics.Histogram
+	sinkN   int64
+	isSink  bool
+
+	// per-invocation state
+	ctx      *nativeCtx
+	buffers  map[string][]Tuple
+	ackAccum map[int64]int64
+}
+
+func (rt *nativeRuntime) build() {
+	rt.byOp = make(map[string][]*nativeExec)
+	global := 0
+	for _, n := range rt.topo.Nodes() {
+		for i := 0; i < n.Parallelism; i++ {
+			e := &nativeExec{
+				rt: rt, node: n, index: i, global: global,
+				rng:     rand.New(rand.NewSource(rt.cfg.Seed + int64(global)*7919 + 1)),
+				buffers: make(map[string][]Tuple),
+				edges:   make(map[string][]*nativeEdge),
+				latency: metrics.NewHistogram(1 << 14),
+			}
+			if n.IsSource() {
+				e.src = n.NewSource()
+			} else {
+				e.op = n.NewOp()
+				e.in = make(chan Msg, rt.cfg.QueueCap)
+			}
+			e.isSink = isSink(n)
+			rt.execs = append(rt.execs, e)
+			rt.byOp[n.Name] = append(rt.byOp[n.Name], e)
+			global++
+		}
+	}
+	// Wire edges and count producers.
+	for _, n := range rt.topo.Nodes() {
+		for _, ed := range rt.topo.Consumers(n.Name) {
+			ss, _ := n.OutStream(ed.Sub.Stream)
+			for _, pe := range rt.byOp[n.Name] {
+				pe.edges[ed.Sub.Stream] = append(pe.edges[ed.Sub.Stream], &nativeEdge{
+					router:    newEdgeRouter(ss, ed.Sub, ed.Consumer.Parallelism),
+					stream:    ed.Sub.Stream,
+					consumers: rt.byOp[ed.Consumer.Name],
+					system:    ed.Consumer.System,
+				})
+			}
+			for _, ce := range rt.byOp[ed.Consumer.Name] {
+				ce.nProducers += n.Parallelism
+			}
+		}
+	}
+}
+
+// isSink reports whether a node has no user output streams.
+func isSink(n *Node) bool {
+	for _, s := range n.Streams {
+		if s.Name != AckStream {
+			return false
+		}
+	}
+	return !n.System
+}
+
+func (rt *nativeRuntime) run(app string) (*Result, error) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, e := range rt.execs {
+		wg.Add(1)
+		go func(e *nativeExec) {
+			defer wg.Done()
+			e.loop()
+		}(e)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	res := &Result{
+		App:            app,
+		System:         rt.cfg.System.Name,
+		SourceEvents:   atomic.LoadInt64(&rt.sourceEvents),
+		SinkEvents:     atomic.LoadInt64(&rt.sinkEvents),
+		ElapsedSeconds: elapsed,
+		Latency:        metrics.NewHistogram(1 << 16),
+	}
+	for _, e := range rt.execs {
+		for _, s := range e.latency.Samples() {
+			res.Latency.Observe(s)
+		}
+		res.Executors = append(res.Executors, ExecStat{
+			Op: e.node.Name, Index: e.index, Socket: -1, Tuples: e.sinkN,
+		})
+		if a, ok := e.op.(*Acker); ok {
+			res.AckerCompleted += a.Completed()
+		}
+	}
+	return res, nil
+}
+
+func (e *nativeExec) loop() {
+	e.ctx = &nativeCtx{ex: e}
+	if e.src != nil {
+		e.src.Prepare(e.ctx)
+		for e.sourceInvocation() {
+		}
+		e.finish()
+		return
+	}
+	e.op.Prepare(e.ctx)
+	eos := 0
+	for eos < e.nProducers {
+		msg := <-e.in
+		if msg.EOS {
+			eos++
+			continue
+		}
+		e.processBatch(msg)
+	}
+	e.finish()
+}
+
+// sourceInvocation emits up to BatchSize tuples; returns false at EOS.
+func (e *nativeExec) sourceInvocation() bool {
+	target := e.rt.cfg.BatchSize
+	n := 0
+	alive := true
+	for n < target && alive {
+		before := e.emittedThisInvocation()
+		alive = e.src.Next(e.ctx)
+		n += e.emittedThisInvocation() - before
+	}
+	e.endInvocation()
+	return alive
+}
+
+func (e *nativeExec) emittedThisInvocation() int {
+	n := 0
+	for _, b := range e.buffers {
+		n += len(b)
+	}
+	return n
+}
+
+func (e *nativeExec) processBatch(msg Msg) {
+	for i := range msg.Batch {
+		t := &msg.Batch[i]
+		e.ctx.curInput = t
+		e.ctx.inOp, e.ctx.inStream = msg.FromOp, msg.Stream
+		if e.ackTracking() {
+			e.accumAck(t.Root, t.Edge)
+		}
+		if e.isSink {
+			e.observeSink(t)
+		}
+		e.op.Process(e.ctx, *t)
+	}
+	e.ctx.curInput = nil
+	e.endInvocation()
+}
+
+func (e *nativeExec) ackTracking() bool {
+	return e.rt.cfg.System.AckEnabled && !e.node.System
+}
+
+func (e *nativeExec) accumAck(root, edge int64) {
+	if root == 0 {
+		return // unanchored tuple tree
+	}
+	if e.ackAccum == nil {
+		e.ackAccum = make(map[int64]int64)
+	}
+	e.ackAccum[root] ^= edge
+}
+
+func (e *nativeExec) observeSink(t *Tuple) {
+	e.sinkN++
+	atomic.AddInt64(&e.rt.sinkEvents, 1)
+	if e.sinkN%int64(e.rt.cfg.LatencySampleEvery) == 0 {
+		e.latency.Observe(float64(time.Now().UnixNano()-t.Born) / 1e6)
+	}
+}
+
+// endInvocation implements the non-blocking batching boundary: everything
+// emitted during this invocation is routed now, per-consumer batches are
+// delivered, ack messages are generated from the delivered edges, and
+// nothing is held back for a later flush.
+func (e *nativeExec) endInvocation() {
+	for _, n := range e.node.Streams {
+		buf := e.buffers[n.Name]
+		if len(buf) == 0 {
+			continue
+		}
+		e.buffers[n.Name] = nil
+		for _, ed := range e.edges[n.Name] {
+			batches := ed.router.route(buf, e.batchCap(n.Name))
+			for _, b := range batches {
+				if e.ackTracking() && !ed.system {
+					for i := range b.Tuples {
+						edge := e.rng.Int63()
+						b.Tuples[i].Edge = edge
+						e.accumAck(b.Tuples[i].Root, edge)
+					}
+				}
+				ed.consumers[b.Consumer].in <- Msg{
+					FromGlobal: e.global, FromOp: e.node.Name,
+					Stream: n.Name, Batch: b.Tuples,
+				}
+			}
+		}
+	}
+	e.flushAcks()
+}
+
+// batchCap bounds delivered batch sizes. Ack batches may grow unbounded
+// within an invocation; user batches are capped at 4x the source batch
+// size to keep downstream invocations bounded.
+func (e *nativeExec) batchCap(stream string) int {
+	if stream == AckStream {
+		return 0
+	}
+	return 4 * e.rt.cfg.BatchSize
+}
+
+func (e *nativeExec) flushAcks() {
+	if len(e.ackAccum) == 0 {
+		return
+	}
+	accum := e.ackAccum
+	e.ackAccum = nil
+	for root, x := range accum {
+		e.buffers[AckStream] = append(e.buffers[AckStream], Tuple{
+			Values: []Value{root, x}, Root: root,
+		})
+	}
+	buf := e.buffers[AckStream]
+	e.buffers[AckStream] = nil
+	for _, ed := range e.edges[AckStream] {
+		for _, b := range ed.router.route(buf, 0) {
+			ed.consumers[b.Consumer].in <- Msg{
+				FromGlobal: e.global, FromOp: e.node.Name,
+				Stream: AckStream, Batch: b.Tuples,
+			}
+		}
+	}
+}
+
+// finish drains buffered operator state and propagates EOS downstream.
+func (e *nativeExec) finish() {
+	if f, ok := e.op.(Flusher); ok {
+		e.ctx.curInput = nil
+		f.Flush(e.ctx)
+		e.endInvocation()
+	}
+	for _, n := range e.node.Streams {
+		for _, ed := range e.edges[n.Name] {
+			for _, c := range ed.consumers {
+				c.in <- Msg{FromGlobal: e.global, FromOp: e.node.Name, Stream: n.Name, EOS: true}
+			}
+		}
+	}
+}
+
+// nativeCtx implements Context for the native runtime.
+type nativeCtx struct {
+	ex       *nativeExec
+	curInput *Tuple
+	inOp     string
+	inStream string
+}
+
+func (c *nativeCtx) Emit(values ...Value) { c.EmitTo(DefaultStream, values...) }
+
+func (c *nativeCtx) EmitTo(stream string, values ...Value) {
+	n := c.ex.node
+	if _, ok := n.OutStream(stream); !ok {
+		panic(fmt.Sprintf("engine: %q emits to undeclared stream %q", n.Name, stream))
+	}
+	t := Tuple{Values: values, Size: int32(TupleBytes(values))}
+	if c.curInput != nil {
+		t.Born = c.curInput.Born
+		t.Root = c.curInput.Root
+	} else {
+		t.Born = time.Now().UnixNano()
+		if n.IsSource() {
+			t.Root = atomic.AddInt64(&c.ex.rt.rootCtr, 1)
+		}
+		// Non-source emissions without an input anchor (e.g. Flush) are
+		// unanchored, as in Storm: Root stays 0 and is never ack-tracked.
+	}
+	if n.IsSource() && stream != AckStream {
+		atomic.AddInt64(&c.ex.rt.sourceEvents, 1)
+	}
+	c.ex.buffers[stream] = append(c.ex.buffers[stream], t)
+}
+
+func (c *nativeCtx) ExecutorID() int  { return c.ex.index }
+func (c *nativeCtx) Parallelism() int { return c.ex.node.Parallelism }
+func (c *nativeCtx) OperatorName() string {
+	return c.ex.node.Name
+}
+func (c *nativeCtx) Work(uops, branches int) {}
+func (c *nativeCtx) AccessState(bytes int)   {}
+func (c *nativeCtx) ScanState(bytes int)     {}
+func (c *nativeCtx) ScanScratch(bytes int)   {}
+func (c *nativeCtx) Rand() *rand.Rand        { return c.ex.rng }
+func (c *nativeCtx) Input() (string, string) { return c.inOp, c.inStream }

@@ -1,0 +1,346 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"streamscale/internal/hw"
+	"streamscale/internal/jvm"
+	"streamscale/internal/metrics"
+	"streamscale/internal/profiler"
+	"streamscale/internal/sim"
+)
+
+// SimConfig configures a run on the simulated multi-socket machine.
+type SimConfig struct {
+	// System selects the engine profile (Storm or Flink).
+	System SystemProfile
+	// BatchSize is the source batch size S (§VI-A); 1 or 0 disables
+	// batching.
+	BatchSize int
+
+	// Spec is the machine; zero value selects the paper's Table III server.
+	Spec hw.MachineSpec
+	// Sockets enables the first n sockets (0 = all). Cores, if nonzero,
+	// further restricts to the first Cores cores — the paper's 1..8-core
+	// sweep within one socket.
+	Sockets int
+	Cores   int
+
+	// Placement maps executor global index -> socket. Executors absent
+	// from the map (or all, when nil) float across all enabled cores, as
+	// threads do without a NUMA-aware scheduler.
+	Placement map[int]int
+
+	// GC selects the collector model; zero value selects G1 with a young
+	// generation scaled for simulation-length runs.
+	GC jvm.Config
+
+	// FailAfter injects executor failures: executor global index -> number
+	// of input tuples after which the executor turns into a zombie that
+	// drains its queue but neither processes, emits, nor acks. Storm's XOR
+	// accounting then reports the lost tuple trees as incomplete
+	// (AckerCompleted < SourceEvents) — the signal its replay logic keys
+	// on.
+	FailAfter map[int]int64
+
+	// SourceRate throttles each source executor to the given event rate
+	// (events per simulated second). Zero runs sources closed-loop at full
+	// speed, as the paper's throughput experiments do; a nonzero rate
+	// yields open-loop latency measurements at a fixed offered load.
+	SourceRate float64
+
+	// Seed drives all randomness.
+	Seed int64
+	// QueueCap overrides the profile's queue capacity.
+	QueueCap int
+	// LatencySampleEvery samples end-to-end latency every n-th sink tuple.
+	LatencySampleEvery int
+	// TimeLimit aborts the simulation after this many cycles (safety
+	// net; 0 = one simulated hour).
+	TimeLimit sim.Cycles
+}
+
+func (c *SimConfig) fill() {
+	if c.Spec.Sockets == 0 {
+		c.Spec = hw.TableIII()
+	}
+	if c.Sockets <= 0 || c.Sockets > c.Spec.Sockets {
+		c.Sockets = c.Spec.Sockets
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = c.System.QueueCap
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.LatencySampleEvery <= 0 {
+		c.LatencySampleEvery = 8
+	}
+	if c.GC.YoungBytes == 0 {
+		c.GC = jvm.G1()
+	}
+	if c.GC.YoungBytes >= 64<<20 {
+		// Simulation runs process orders of magnitude fewer events than
+		// the hour-long hardware runs; scale the young generation down so
+		// collections actually occur and the allocation-to-collection
+		// ratio (hence the GC overhead share) matches production behaviour.
+		c.GC.YoungBytes = 2 << 20
+	}
+	if c.TimeLimit <= 0 {
+		c.TimeLimit = sim.Cycles(c.Spec.ClockHz) * 3600
+	}
+}
+
+// EnabledCores returns the core IDs the configuration enables.
+func (c *SimConfig) EnabledCores() []int {
+	n := c.Sockets * c.Spec.CoresPerSocket
+	if c.Cores > 0 && c.Cores < n {
+		n = c.Cores
+	}
+	cores := make([]int, n)
+	for i := range cores {
+		cores[i] = i
+	}
+	return cores
+}
+
+// EnabledSockets returns the socket IDs covered by the enabled cores.
+func (c *SimConfig) EnabledSockets() []int {
+	cores := c.EnabledCores()
+	last := cores[len(cores)-1] / c.Spec.CoresPerSocket
+	s := make([]int, last+1)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// codeRegion is a materialized chunk of simulated code.
+type codeRegion struct {
+	id    uint32
+	name  string
+	base  uint64
+	bytes int
+}
+
+// simRuntime holds the state of one simulated run.
+type simRuntime struct {
+	cfg  SimConfig
+	topo *Topology
+
+	kernel  *sim.Kernel
+	sched   *sim.Scheduler
+	machine *hw.Machine
+	heap    *jvm.Heap
+	meta    *jvm.Metaspace
+	profile *profiler.Profile
+
+	execs       []*simExecutor
+	byOp        map[string][]*simExecutor
+	sharedState map[string]uint64 // operator -> shared state base address
+
+	hotRegions  []*codeRegion
+	coldRegions []*codeRegion
+	coldEvery   []int
+	userRegions map[string]*codeRegion
+	codeCursor  uint64
+	regionCount uint32
+
+	frameworkClasses []uint64
+
+	rootCtr      int64
+	sourceEvents int64
+	sinkEvents   int64
+	enabledCores []int
+}
+
+// RunSim executes the topology on the simulated machine and returns both
+// performance results and the full processor-time profile.
+func RunSim(t *Topology, cfg SimConfig) (*Result, error) {
+	cfg.fill()
+	xt, err := BuildExecTopology(t, cfg.System)
+	if err != nil {
+		return nil, err
+	}
+	rt := &simRuntime{cfg: cfg, topo: xt}
+	if err := rt.build(); err != nil {
+		return nil, err
+	}
+	return rt.run(t.Name)
+}
+
+func (rt *simRuntime) newRegion(name string, bytes int) *codeRegion {
+	r := &codeRegion{
+		id:    rt.regionCount,
+		name:  name,
+		base:  hw.CodeBase + rt.codeCursor,
+		bytes: bytes,
+	}
+	rt.regionCount++
+	// Pad between regions so they never share an instruction block.
+	rt.codeCursor += uint64(bytes) + 4096
+	return r
+}
+
+func (rt *simRuntime) build() error {
+	cfg := &rt.cfg
+	rt.kernel = sim.NewKernel()
+	rt.sched = sim.NewScheduler(rt.kernel, cfg.Spec.TotalCores(), cfg.Spec.CoresPerSocket,
+		sim.DefaultSchedulerConfig())
+	rt.machine = hw.NewMachine(cfg.Spec)
+	rt.heap = jvm.NewHeap(cfg.Spec.Sockets, cfg.GC)
+	rt.meta = jvm.NewMetaspace(4096)
+	rt.profile = profiler.New()
+	rt.byOp = make(map[string][]*simExecutor)
+	rt.sharedState = make(map[string]uint64)
+	rt.userRegions = make(map[string]*codeRegion)
+	rt.enabledCores = cfg.EnabledCores()
+
+	for _, r := range cfg.System.HotRegions {
+		rt.hotRegions = append(rt.hotRegions, rt.newRegion("sys:"+r.Name, r.Bytes))
+	}
+	for _, r := range cfg.System.ColdRegions {
+		rt.coldRegions = append(rt.coldRegions, rt.newRegion("cold:"+r.Name, r.Bytes))
+		rt.coldEvery = append(rt.coldEvery, r.Every)
+	}
+	for _, cls := range []string{"Tuple", "Fields", "Collector"} {
+		rt.frameworkClasses = append(rt.frameworkClasses, rt.meta.ClassID(cls))
+	}
+
+	sockets := cfg.EnabledSockets()
+	global := 0
+	for _, n := range rt.topo.Nodes() {
+		rt.userRegions[n.Name] = rt.newRegion("op:"+n.Name, n.Profile.CodeBytes)
+		for i := 0; i < n.Parallelism; i++ {
+			e := newSimExecutor(rt, n, i, global)
+			// Input queue ring memory lives on the executor's socket if
+			// placed, else on a deterministic enabled socket.
+			qSocket := sockets[global%len(sockets)]
+			if s, ok := cfg.Placement[global]; ok {
+				qSocket = s
+			}
+			if !n.IsSource() {
+				base := rt.heap.AllocTenured(qSocket, cfg.QueueCap*32)
+				e.in = newSimQueue(cfg.QueueCap, base, rt.sched)
+			}
+			rt.execs = append(rt.execs, e)
+			rt.byOp[n.Name] = append(rt.byOp[n.Name], e)
+			global++
+		}
+	}
+	// Wire edges and count producers.
+	for _, n := range rt.topo.Nodes() {
+		for _, ed := range rt.topo.Consumers(n.Name) {
+			ss, _ := n.OutStream(ed.Sub.Stream)
+			for _, pe := range rt.byOp[n.Name] {
+				pe.edges[ed.Sub.Stream] = append(pe.edges[ed.Sub.Stream], &simEdge{
+					router:    newEdgeRouter(ss, ed.Sub, ed.Consumer.Parallelism),
+					stream:    ed.Sub.Stream,
+					consumers: rt.byOp[ed.Consumer.Name],
+					system:    ed.Consumer.System,
+				})
+			}
+			for _, ce := range rt.byOp[ed.Consumer.Name] {
+				ce.nProducers += n.Parallelism
+			}
+		}
+	}
+	// Spawn threads.
+	for _, e := range rt.execs {
+		affinity := rt.enabledCores
+		if s, ok := cfg.Placement[e.global]; ok {
+			affinity = intersect(rt.sched.CoresOnSockets([]int{s}), rt.enabledCores)
+			if len(affinity) == 0 {
+				return fmt.Errorf("engine: executor %d placed on disabled socket %d", e.global, s)
+			}
+		}
+		name := fmt.Sprintf("%s[%d]", e.node.Name, e.index)
+		e.thread = rt.sched.Spawn(name, e, affinity)
+		e.thread.OnCoreChange = func(prev, next int) { e.curCore = next }
+	}
+	return nil
+}
+
+func intersect(a, b []int) []int {
+	in := map[int]bool{}
+	for _, x := range b {
+		in[x] = true
+	}
+	var out []int
+	for _, x := range a {
+		if in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (rt *simRuntime) run(app string) (*Result, error) {
+	rt.kernel.Run(rt.cfg.TimeLimit)
+	if live := rt.sched.Live(); live > 0 {
+		return nil, fmt.Errorf("engine: simulation stalled with %d live executors at %d cycles (deadlock or time limit)",
+			live, rt.kernel.Now())
+	}
+	elapsed := rt.kernel.Now()
+	clock := rt.cfg.Spec.ClockHz
+
+	res := &Result{
+		App:            app,
+		System:         rt.cfg.System.Name,
+		SourceEvents:   rt.sourceEvents,
+		SinkEvents:     rt.sinkEvents,
+		ElapsedSeconds: elapsed.Seconds(clock),
+		Latency:        metrics.NewHistogram(1 << 16),
+		Profile:        rt.profile,
+		CPUUtil:        rt.sched.Utilization(rt.enabledCores),
+		MemUtil:        rt.machine.DRAMUtilization(rt.cfg.EnabledSockets(), elapsed),
+		QPIBytes:       rt.machine.QPIBytes(),
+		MinorGCs:       rt.heap.MinorGCs(),
+	}
+	res.OperatorProfiles = map[string]*profiler.Profile{}
+	for _, e := range rt.execs {
+		rt.profile.Add(&e.costs)
+		opProf := res.OperatorProfiles[e.node.Name]
+		if opProf == nil {
+			opProf = profiler.New()
+			res.OperatorProfiles[e.node.Name] = opProf
+		}
+		opProf.Add(&e.costs)
+		for _, s := range e.latency.Samples() {
+			res.Latency.Observe(s)
+		}
+		stat := ExecStat{Op: e.node.Name, Index: e.index, Socket: e.stateSocket, Tuples: e.tuples}
+		if e.tuples > 0 {
+			// "Process latency" per event, as Fig 10 reports it: the wall
+			// time each event occupies at this executor, including the
+			// waits imposed by time-sharing cores with other executors and
+			// by remote memory stalls.
+			span := e.lastTuple - e.firstTuple
+			if span < e.procCycles {
+				span = e.procCycles
+			}
+			stat.MeanTupleMs = sim.Cycles(int64(span) / e.tuples).Millis(clock)
+		}
+		res.Executors = append(res.Executors, stat)
+		if a, ok := e.op.(*Acker); ok {
+			res.AckerCompleted += a.Completed()
+		}
+	}
+	rt.profile.GCCycles = rt.heap.GCCycles()
+	res.GCShare = rt.profile.GCShare()
+	return res, nil
+}
+
+// sortedRoots returns map keys in deterministic order.
+func sortedRoots(m map[int64]int64) []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

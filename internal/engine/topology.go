@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultStream is the stream name used by Emit and single-stream operators.
+const DefaultStream = "default"
+
+// WorkProfile describes an operator's resource behaviour for the simulated
+// runtime. Fixed per-tuple costs live here; data-dependent costs are
+// reported at runtime via Context.Work / Context.AccessState. The native
+// runtime ignores profiles entirely.
+type WorkProfile struct {
+	// CodeBytes is the operator's JIT-compiled hot-path size. The paper
+	// measured an average of up to 20 KB of native code per executor.
+	CodeBytes int
+	// UopsPerTuple is the baseline computation per input tuple.
+	UopsPerTuple int
+	// UopsPerEmit is the additional computation per emitted tuple.
+	UopsPerEmit int
+	// BranchesPerTuple is the number of hard-to-predict branches per tuple.
+	BranchesPerTuple int
+	// StateBytes is the executor's private working set (hash maps, windows).
+	StateBytes int
+	// SharedState marks the state as one object shared by all of the
+	// operator's executors (e.g. a reference road network). It is
+	// allocated once, on the socket of whichever executor prepares first
+	// — the NUMA first-touch behaviour of a shared JVM object.
+	SharedState bool
+	// StateAccessesPerTuple is how many random cache lines of that state
+	// one tuple touches.
+	StateAccessesPerTuple int
+	// ExtraAllocPerTuple is garbage allocated per tuple beyond output
+	// tuples (temporaries, boxing).
+	ExtraAllocPerTuple int
+	// Selectivity is the average number of output tuples per input tuple
+	// (sources: per Next call), used by the placement optimizer to
+	// estimate inter-operator flow. Zero means 1.0.
+	Selectivity float64
+	// AvgTupleBytes is the average output tuple payload size for flow
+	// estimation. Zero means 64.
+	AvgTupleBytes int
+}
+
+// EffSelectivity returns Selectivity with its default applied.
+func (p WorkProfile) EffSelectivity() float64 {
+	if p.Selectivity <= 0 {
+		return 1.0
+	}
+	return p.Selectivity
+}
+
+// EffTupleBytes returns AvgTupleBytes with its default applied.
+func (p WorkProfile) EffTupleBytes() int {
+	if p.AvgTupleBytes <= 0 {
+		return 64
+	}
+	return p.AvgTupleBytes
+}
+
+// DefaultWorkProfile returns a modest profile for lightweight operators.
+func DefaultWorkProfile() WorkProfile {
+	return WorkProfile{
+		CodeBytes:             8 << 10,
+		UopsPerTuple:          400,
+		UopsPerEmit:           150,
+		BranchesPerTuple:      12,
+		StateBytes:            16 << 10,
+		StateAccessesPerTuple: 2,
+		ExtraAllocPerTuple:    48,
+	}
+}
+
+// StreamSpec declares a named output stream and its field names.
+type StreamSpec struct {
+	Name   string
+	Fields []string
+}
+
+// Subscription connects an operator to a producer's stream with a grouping.
+type Subscription struct {
+	Operator string
+	Stream   string
+	Group    Grouping
+}
+
+// Node is one operator (or source) in a topology.
+type Node struct {
+	Name        string
+	Parallelism int
+
+	// Exactly one of NewOp / NewSource is set.
+	NewOp     func() Operator
+	NewSource func() Source
+
+	Streams []StreamSpec
+	Subs    []Subscription
+	Profile WorkProfile
+
+	// System marks engine-internal operators (the acker).
+	System bool
+
+	topo *Topology
+}
+
+// IsSource reports whether the node is a data source.
+func (n *Node) IsSource() bool { return n.NewSource != nil }
+
+// OutStream looks up a declared stream by name.
+func (n *Node) OutStream(name string) (StreamSpec, bool) {
+	for _, s := range n.Streams {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return StreamSpec{}, false
+}
+
+// Topology is a dataflow graph of named operators.
+type Topology struct {
+	Name  string
+	nodes []*Node
+	index map[string]*Node
+}
+
+// NewTopology creates an empty topology.
+func NewTopology(name string) *Topology {
+	return &Topology{Name: name, index: make(map[string]*Node)}
+}
+
+// Nodes returns the topology's nodes in insertion order.
+func (t *Topology) Nodes() []*Node { return t.nodes }
+
+// Node looks up a node by name.
+func (t *Topology) Node(name string) *Node { return t.index[name] }
+
+func (t *Topology) add(n *Node) *Node {
+	if n.Parallelism <= 0 {
+		panic(fmt.Sprintf("engine: node %q has non-positive parallelism", n.Name))
+	}
+	if _, dup := t.index[n.Name]; dup {
+		panic(fmt.Sprintf("engine: duplicate node name %q", n.Name))
+	}
+	n.topo = t
+	t.nodes = append(t.nodes, n)
+	t.index[n.Name] = n
+	return n
+}
+
+// AddSource registers a data source with the given parallelism and output
+// streams (at least one).
+func (t *Topology) AddSource(name string, parallelism int, factory func() Source, streams ...StreamSpec) *Node {
+	if len(streams) == 0 {
+		panic("engine: source must declare at least one stream")
+	}
+	return t.add(&Node{
+		Name: name, Parallelism: parallelism, NewSource: factory,
+		Streams: streams, Profile: DefaultWorkProfile(),
+	})
+}
+
+// AddOp registers a processing operator. Operators without outputs (sinks)
+// pass no streams.
+func (t *Topology) AddOp(name string, parallelism int, factory func() Operator, streams ...StreamSpec) *Node {
+	return t.add(&Node{
+		Name: name, Parallelism: parallelism, NewOp: factory,
+		Streams: streams, Profile: DefaultWorkProfile(),
+	})
+}
+
+// Stream declares an output stream with named fields.
+func Stream(name string, fields ...string) StreamSpec {
+	return StreamSpec{Name: name, Fields: fields}
+}
+
+// WithProfile sets the node's simulation work profile and returns the node.
+func (n *Node) WithProfile(p WorkProfile) *Node {
+	n.Profile = p
+	return n
+}
+
+// Sub subscribes the node to a producer's named stream.
+func (n *Node) Sub(operator, stream string, g Grouping) *Node {
+	n.Subs = append(n.Subs, Subscription{Operator: operator, Stream: stream, Group: g})
+	return n
+}
+
+// SubDefault subscribes to a producer's default stream.
+func (n *Node) SubDefault(operator string, g Grouping) *Node {
+	return n.Sub(operator, DefaultStream, g)
+}
+
+// Validate checks the topology: subscriptions must reference declared
+// streams, fields groupings must name existing fields, the graph must have
+// at least one source, and every non-source must be reachable from a source.
+func (t *Topology) Validate() error {
+	hasSource := false
+	for _, n := range t.nodes {
+		if n.IsSource() {
+			hasSource = true
+			if len(n.Subs) > 0 {
+				return fmt.Errorf("source %q has subscriptions", n.Name)
+			}
+		} else if len(n.Subs) == 0 {
+			return fmt.Errorf("operator %q has no inputs", n.Name)
+		}
+		for _, sub := range n.Subs {
+			p := t.index[sub.Operator]
+			if p == nil {
+				return fmt.Errorf("node %q subscribes to unknown operator %q", n.Name, sub.Operator)
+			}
+			ss, ok := p.OutStream(sub.Stream)
+			if !ok {
+				return fmt.Errorf("node %q subscribes to undeclared stream %q of %q", n.Name, sub.Stream, sub.Operator)
+			}
+			if sub.Group.Kind == GroupFields {
+				for _, f := range sub.Group.Fields {
+					if fieldIndex(ss.Fields, f) < 0 {
+						return fmt.Errorf("node %q groups on field %q not in stream %s.%s%v",
+							n.Name, f, sub.Operator, sub.Stream, ss.Fields)
+					}
+				}
+			}
+		}
+	}
+	if !hasSource {
+		return fmt.Errorf("topology %q has no source", t.Name)
+	}
+	if err := t.checkReachable(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (t *Topology) checkReachable() error {
+	reach := map[string]bool{}
+	for _, n := range t.nodes {
+		if n.IsSource() {
+			reach[n.Name] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range t.nodes {
+			if reach[n.Name] {
+				continue
+			}
+			for _, sub := range n.Subs {
+				if reach[sub.Operator] {
+					reach[n.Name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var missing []string
+	for _, n := range t.nodes {
+		if !reach[n.Name] {
+			missing = append(missing, n.Name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("nodes unreachable from any source: %v", missing)
+	}
+	return nil
+}
+
+// Consumers returns, for each node, the subscriptions other nodes hold on
+// its streams, as (consumer, subscription) pairs in deterministic order.
+func (t *Topology) Consumers(producer string) []Edge {
+	var edges []Edge
+	for _, n := range t.nodes {
+		for _, sub := range n.Subs {
+			if sub.Operator == producer {
+				edges = append(edges, Edge{Consumer: n, Sub: sub})
+			}
+		}
+	}
+	return edges
+}
+
+// Edge is one producer→consumer subscription.
+type Edge struct {
+	Consumer *Node
+	Sub      Subscription
+}
+
+func fieldIndex(fields []string, name string) int {
+	for i, f := range fields {
+		if f == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FieldIndices resolves grouping field names to indices in a stream's
+// schema, panicking on unknown fields (Validate catches these earlier).
+func FieldIndices(ss StreamSpec, fields []string) []int {
+	idx := make([]int, len(fields))
+	for i, f := range fields {
+		j := fieldIndex(ss.Fields, f)
+		if j < 0 {
+			panic(fmt.Sprintf("engine: field %q not in stream %q %v", f, ss.Name, ss.Fields))
+		}
+		idx[i] = j
+	}
+	return idx
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+type nopOp struct{}
+
+func (nopOp) Prepare(Context)        {}
+func (nopOp) Process(Context, Tuple) {}
+
+type nopSource struct{ n int }
+
+func (s *nopSource) Prepare(Context) {}
+func (s *nopSource) Next(ctx Context) bool {
+	if s.n == 0 {
+		return false
+	}
+	s.n--
+	ctx.Emit("x")
+	return true
+}
+
+func newNopOp() Operator { return nopOp{} }
+func newNopSrc() Source  { return &nopSource{n: 10} }
+func strm() StreamSpec   { return Stream(DefaultStream, "v") }
+func twoNode() *Topology {
+	t := NewTopology("t")
+	t.AddSource("src", 1, newNopSrc, strm())
+	t.AddOp("sink", 1, newNopOp).SubDefault("src", Shuffle())
+	return t
+}
+
+func TestValidateAcceptsGoodTopology(t *testing.T) {
+	if err := twoNode().Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsUnknownProducer(t *testing.T) {
+	to := NewTopology("t")
+	to.AddSource("src", 1, newNopSrc, strm())
+	to.AddOp("op", 1, newNopOp).SubDefault("ghost", Shuffle())
+	if err := to.Validate(); err == nil || !strings.Contains(err.Error(), "unknown operator") {
+		t.Fatalf("err = %v, want unknown operator", err)
+	}
+}
+
+func TestValidateRejectsUndeclaredStream(t *testing.T) {
+	to := NewTopology("t")
+	to.AddSource("src", 1, newNopSrc, strm())
+	to.AddOp("op", 1, newNopOp).Sub("src", "nosuch", Shuffle())
+	if err := to.Validate(); err == nil || !strings.Contains(err.Error(), "undeclared stream") {
+		t.Fatalf("err = %v, want undeclared stream", err)
+	}
+}
+
+func TestValidateRejectsBadGroupingField(t *testing.T) {
+	to := NewTopology("t")
+	to.AddSource("src", 1, newNopSrc, strm())
+	to.AddOp("op", 1, newNopOp).SubDefault("src", Fields("nokey"))
+	if err := to.Validate(); err == nil || !strings.Contains(err.Error(), "field") {
+		t.Fatalf("err = %v, want bad field", err)
+	}
+}
+
+func TestValidateRejectsNoSource(t *testing.T) {
+	to := NewTopology("t")
+	to.AddOp("a", 1, newNopOp, strm())
+	to.AddOp("b", 1, newNopOp).SubDefault("a", Shuffle())
+	// "a" has no inputs, reported first.
+	if err := to.Validate(); err == nil {
+		t.Fatal("sourceless topology accepted")
+	}
+}
+
+func TestValidateRejectsUnreachable(t *testing.T) {
+	to := twoNode()
+	to.AddOp("island", 1, newNopOp, strm()).SubDefault("island", Shuffle()) // self-loop island
+	err := to.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("err = %v, want unreachable", err)
+	}
+}
+
+func TestValidateRejectsSourceWithInputs(t *testing.T) {
+	to := twoNode()
+	to.Node("src").SubDefault("sink", Shuffle())
+	if err := to.Validate(); err == nil || !strings.Contains(err.Error(), "source") {
+		t.Fatalf("err = %v, want source-with-subscriptions", err)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate node name did not panic")
+		}
+	}()
+	to := twoNode()
+	to.AddOp("sink", 1, newNopOp)
+}
+
+func TestConsumersEnumeratesEdges(t *testing.T) {
+	to := NewTopology("t")
+	to.AddSource("src", 1, newNopSrc, strm())
+	to.AddOp("a", 2, newNopOp).SubDefault("src", Shuffle())
+	to.AddOp("b", 3, newNopOp).SubDefault("src", Fields("v"))
+	edges := to.Consumers("src")
+	if len(edges) != 2 {
+		t.Fatalf("edges = %d, want 2", len(edges))
+	}
+	if edges[0].Consumer.Name != "a" || edges[1].Consumer.Name != "b" {
+		t.Fatalf("edge order not deterministic: %v, %v", edges[0].Consumer.Name, edges[1].Consumer.Name)
+	}
+}
+
+func TestHashValueStability(t *testing.T) {
+	if HashValue("word") != HashValue("word") {
+		t.Fatal("string hash unstable")
+	}
+	if HashValue(int64(7)) != HashValue(int64(7)) {
+		t.Fatal("int hash unstable")
+	}
+	if HashValue("a") == HashValue("b") {
+		t.Fatal("suspicious collision between distinct keys")
+	}
+}
+
+func TestHashFieldsDistinguishesFieldOrder(t *testing.T) {
+	vals := []Value{"x", "y"}
+	if HashFields(vals, []int{0, 1}) == HashFields(vals, []int{1, 0}) {
+		t.Fatal("combined hash ignores field order")
+	}
+}
+
+func TestTupleBytesEstimates(t *testing.T) {
+	small := TupleBytes([]Value{int64(1)})
+	large := TupleBytes([]Value{"a long sentence with many characters in it", int64(1)})
+	if large <= small {
+		t.Fatalf("size estimate not monotone: %d <= %d", large, small)
+	}
+	if small < 24+8+8 {
+		t.Fatalf("single-int tuple estimate %d too small", small)
+	}
+}
+
+func TestWithProfileAttaches(t *testing.T) {
+	to := twoNode()
+	p := WorkProfile{CodeBytes: 999}
+	to.Node("sink").WithProfile(p)
+	if to.Node("sink").Profile.CodeBytes != 999 {
+		t.Fatal("WithProfile did not set profile")
+	}
+}

@@ -1,0 +1,96 @@
+package gen
+
+import "testing"
+
+// Accidents in the LR traffic model both start and clear: a stopped
+// vehicle eventually resumes motion.
+func TestLRAccidentLifecycle(t *testing.T) {
+	cfg := DefaultLRConfig()
+	cfg.AccidentEvery = 300 // frequent, for test coverage
+	g := NewLRGen(4, cfg)
+	stoppedAt := map[int]bool{}
+	resumed := 0
+	for i := 0; i < 60_000; i++ {
+		r := g.Next()
+		if r.Type != LRPosition {
+			continue
+		}
+		if r.Speed == 0 {
+			stoppedAt[r.VID] = true
+		} else if stoppedAt[r.VID] {
+			resumed++
+			delete(stoppedAt, r.VID)
+		}
+	}
+	if resumed == 0 {
+		t.Fatal("no vehicle ever resumed after stopping: accidents never clear")
+	}
+}
+
+// Accidents involve pairs: when a vehicle stops, its paired follower stops
+// at the same location.
+func TestLRAccidentPairsShareLocation(t *testing.T) {
+	cfg := DefaultLRConfig()
+	cfg.AccidentEvery = 200
+	g := NewLRGen(9, cfg)
+	type loc struct{ xway, dir, seg, pos int }
+	stopLocs := map[loc]int{}
+	for i := 0; i < 40_000; i++ {
+		r := g.Next()
+		if r.Type == LRPosition && r.Speed == 0 {
+			stopLocs[loc{r.XWay, r.Dir, r.Seg, r.Pos}]++
+		}
+	}
+	pairs := 0
+	for _, n := range stopLocs {
+		if n >= 2 {
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no co-located stopped vehicles: the accident condition can never trigger")
+	}
+}
+
+// GPS vehicles eventually turn onto other roads, covering the grid.
+func TestGPSVehiclesTurn(t *testing.T) {
+	grid := NewRoadGrid(20, 20)
+	g := NewGPSGen(2, grid, 5)
+	roadsSeen := map[int]bool{}
+	for i := 0; i < 30_000; i++ {
+		p := g.Next()
+		id, _ := grid.NearestRoad(p.Lat, p.Lon)
+		roadsSeen[id] = true
+	}
+	if len(roadsSeen) < 10 {
+		t.Fatalf("5 vehicles covered only %d roads in 30k points; turning is broken", len(roadsSeen))
+	}
+}
+
+// Weblog generator's second-resolution clock advances over a long run.
+func TestWeblogClockAdvances(t *testing.T) {
+	g := NewWeblogGen(3, 100, 50)
+	first := g.Next().Timestamp
+	var last int64
+	for i := 0; i < 5000; i++ {
+		last = g.Next().Timestamp
+	}
+	if last <= first {
+		t.Fatal("weblog clock frozen")
+	}
+}
+
+// Sentence generators with different seeds produce different streams.
+func TestSentenceGenSeedsDiffer(t *testing.T) {
+	a := NewSentenceGen(1, 500, 8, 0)
+	b := NewSentenceGen(2, 500, 8, 0)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("%d of 50 sentences identical across seeds", same)
+	}
+}

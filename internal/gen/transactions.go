@@ -1,0 +1,80 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Transaction is one record of the fraud-detection stream: customer ID,
+// transaction ID, and transaction type, matching the paper's sample
+// transaction schema.
+type Transaction struct {
+	CustomerID string
+	TransID    int64
+	Type       int
+}
+
+// TransactionTypes is the size of the transaction-type alphabet.
+const TransactionTypes = 10
+
+// TransactionGen produces customer transaction sequences. Most customers
+// follow a small set of "normal" Markov transition patterns; a configurable
+// fraction are fraudulent and emit low-probability transitions, which the
+// missProbability detector should flag.
+type TransactionGen struct {
+	rng       *rand.Rand
+	customers int
+	fraudPct  float64
+	lastType  map[int]int
+	normal    [TransactionTypes][TransactionTypes]float64
+	transID   int64
+}
+
+// NewTransactionGen builds a generator over the given customer population.
+func NewTransactionGen(seed int64, customers int, fraudPct float64) *TransactionGen {
+	rng := rand.New(rand.NewSource(seed))
+	g := &TransactionGen{
+		rng:       rng,
+		customers: customers,
+		fraudPct:  fraudPct,
+		lastType:  make(map[int]int),
+	}
+	// Normal behaviour: each type strongly prefers 2-3 successor types.
+	for i := 0; i < TransactionTypes; i++ {
+		a, b := (i+1)%TransactionTypes, (i+4)%TransactionTypes
+		for j := 0; j < TransactionTypes; j++ {
+			g.normal[i][j] = 0.02
+		}
+		g.normal[i][a] = 0.5
+		g.normal[i][b] = 0.34
+	}
+	return g
+}
+
+// Next returns one transaction.
+func (g *TransactionGen) Next() Transaction {
+	cust := g.rng.Intn(g.customers)
+	last := g.lastType[cust]
+	var next int
+	if float64(cust) < float64(g.customers)*g.fraudPct {
+		// Fraudulent customers draw uniformly: frequent rare transitions.
+		next = g.rng.Intn(TransactionTypes)
+	} else {
+		u := g.rng.Float64()
+		acc := 0.0
+		for j := 0; j < TransactionTypes; j++ {
+			acc += g.normal[last][j]
+			if u <= acc {
+				next = j
+				break
+			}
+		}
+	}
+	g.lastType[cust] = next
+	g.transID++
+	return Transaction{
+		CustomerID: fmt.Sprintf("C%06d", cust),
+		TransID:    g.transID,
+		Type:       next,
+	}
+}

@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LogRecord is one HTTP server log line, matching the schema of the 1998
+// World Cup web request trace (with IPs anonymized to random-but-fixed
+// addresses, as the paper does).
+type LogRecord struct {
+	IP        string
+	Timestamp int64 // seconds
+	URL       string
+	Status    int
+	Bytes     int
+}
+
+// WeblogGen produces HTTP log records: a skewed set of client IPs spread
+// over a realistic country/city space, a Zipfian URL popularity
+// distribution, and a status-code mix dominated by 200s.
+type WeblogGen struct {
+	rng   *rand.Rand
+	ips   []string
+	urls  []string
+	zipIP *ZipfMandelbrot
+	zipU  *ZipfMandelbrot
+	now   int64
+}
+
+// NewWeblogGen builds a generator over the given client and URL
+// populations.
+func NewWeblogGen(seed int64, clients, urls int) *WeblogGen {
+	rng := rand.New(rand.NewSource(seed))
+	g := &WeblogGen{rng: rng, now: 893964000} // WorldCup-era epoch
+	for i := 0; i < clients; i++ {
+		g.ips = append(g.ips, fmt.Sprintf("%d.%d.%d.%d",
+			1+rng.Intn(223), rng.Intn(256), rng.Intn(256), 1+rng.Intn(254)))
+	}
+	for i := 0; i < urls; i++ {
+		g.urls = append(g.urls, fmt.Sprintf("/english/images/page%04d.html", i))
+	}
+	g.zipIP = NewZipfMandelbrot(rng, clients, 0.9, 2)
+	g.zipU = NewZipfMandelbrot(rng, urls, 1.1, 2)
+	return g
+}
+
+var statusMix = []struct {
+	code   int
+	weight float64
+}{
+	{200, 0.85}, {304, 0.08}, {404, 0.04}, {302, 0.02}, {500, 0.01},
+}
+
+// Next returns one log record.
+func (g *WeblogGen) Next() LogRecord {
+	if g.rng.Float64() < 0.2 {
+		g.now++
+	}
+	u := g.rng.Float64()
+	status := 200
+	acc := 0.0
+	for _, s := range statusMix {
+		acc += s.weight
+		if u <= acc {
+			status = s.code
+			break
+		}
+	}
+	size := 0
+	if status == 200 {
+		size = 500 + g.rng.Intn(30_000)
+	}
+	return LogRecord{
+		IP:        g.ips[g.zipIP.Next()],
+		Timestamp: g.now,
+		URL:       g.urls[g.zipU.Next()],
+		Status:    status,
+		Bytes:     size,
+	}
+}

@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// SentenceGen produces text sentences over a fixed synthetic vocabulary
+// drawn with a Zipf-Mandelbrot distribution, standing in for the paper's
+// Linux-kernel-dictionary text stream (skew 0 = uniform).
+type SentenceGen struct {
+	vocab []string
+	zipf  *ZipfMandelbrot
+	rng   *rand.Rand
+	words int
+}
+
+// NewSentenceGen builds a generator with the given vocabulary size, words
+// per sentence, and skew.
+func NewSentenceGen(seed int64, vocabSize, wordsPerSentence int, skew float64) *SentenceGen {
+	rng := rand.New(rand.NewSource(seed))
+	g := &SentenceGen{
+		vocab: Vocabulary(vocabSize),
+		rng:   rng,
+		words: wordsPerSentence,
+	}
+	g.zipf = NewZipfMandelbrot(rng, vocabSize, skew, 2.7)
+	return g
+}
+
+// Vocabulary returns a deterministic vocabulary of n distinct words with a
+// dictionary-like length distribution.
+func Vocabulary(n int) []string {
+	base := []string{
+		"static", "struct", "return", "kernel", "module", "device", "driver",
+		"buffer", "signal", "thread", "mutex", "atomic", "cache", "inline",
+		"config", "memory", "socket", "packet", "stream", "filter", "handle",
+		"index", "queue", "table", "batch", "event", "tuple", "merge", "split",
+		"count", "state", "value", "field", "group", "shard", "route", "spout",
+	}
+	vocab := make([]string, n)
+	for i := range vocab {
+		w := base[i%len(base)]
+		if i >= len(base) {
+			w = fmt.Sprintf("%s%d", w, i/len(base))
+		}
+		vocab[i] = w
+	}
+	return vocab
+}
+
+// Next returns one sentence.
+func (g *SentenceGen) Next() string {
+	parts := make([]string, g.words)
+	for i := range parts {
+		parts[i] = g.vocab[g.zipf.Next()]
+	}
+	return strings.Join(parts, " ")
+}
+
+// Vocab returns the generator's vocabulary (shared; do not mutate).
+func (g *SentenceGen) Vocab() []string { return g.vocab }

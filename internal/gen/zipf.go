@@ -1,0 +1,59 @@
+// Package gen provides deterministic synthetic workload generators standing
+// in for the seven datasets the paper's micro benchmark uses (none of which
+// is redistributable): Zipf-Mandelbrot text for word count, transaction
+// sequences for fraud detection, HTTP server logs for log processing,
+// sensor readings for spike detection, call detail records for VoIP spam
+// detection, GPS trajectories on a road grid for traffic monitoring, and a
+// Linear Road traffic model. Each generator matches its original's record
+// schema, key cardinality, and skew — the properties that drive operator
+// memory and cache behaviour.
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ZipfMandelbrot samples ranks 0..N-1 with probability proportional to
+// 1/(rank+1+q)^s. s=0 degenerates to the uniform distribution — the paper
+// runs word count with "skew set to 0".
+type ZipfMandelbrot struct {
+	rng *rand.Rand
+	cdf []float64
+}
+
+// NewZipfMandelbrot builds a sampler over n ranks with exponent s and
+// Mandelbrot shift q.
+func NewZipfMandelbrot(rng *rand.Rand, n int, s, q float64) *ZipfMandelbrot {
+	if n <= 0 {
+		panic("gen: zipf needs at least one rank")
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += 1 / math.Pow(float64(i+1)+q, s)
+		cdf[i] = acc
+	}
+	for i := range cdf {
+		cdf[i] /= acc
+	}
+	return &ZipfMandelbrot{rng: rng, cdf: cdf}
+}
+
+// Next samples one rank.
+func (z *ZipfMandelbrot) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the number of ranks.
+func (z *ZipfMandelbrot) N() int { return len(z.cdf) }

@@ -1,0 +1,35 @@
+package hw
+
+// Simulated address space layout.
+//
+// Data addresses carry their NUMA home socket in bits 44..46 with bit 47
+// set; code addresses live above bit 48. The two ranges never collide, so
+// code and data can share cache tag space safely.
+const (
+	dataBit    = uint64(1) << 47
+	sockShift  = 44
+	sockMask   = uint64(7) << sockShift
+	offsetMask = (uint64(1) << sockShift) - 1
+
+	// CodeBase is the start of the simulated code address range.
+	CodeBase = uint64(1) << 48
+
+	// LineBytes is the data cache line size.
+	LineBytes = 64
+)
+
+// DataAddr builds a data address homed on the given socket.
+func DataAddr(socket int, offset uint64) uint64 {
+	return dataBit | uint64(socket)<<sockShift | (offset & offsetMask)
+}
+
+// HomeSocket returns the NUMA home of a data address.
+func HomeSocket(addr uint64) int {
+	return int((addr & sockMask) >> sockShift)
+}
+
+// IsData reports whether addr is in the data range.
+func IsData(addr uint64) bool { return addr&dataBit != 0 && addr < CodeBase }
+
+// Offset returns the within-socket offset of a data address.
+func Offset(addr uint64) uint64 { return addr & offsetMask }

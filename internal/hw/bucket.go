@@ -1,0 +1,90 @@
+// Package hw models the processor and memory system of a multi-socket
+// multi-core machine: per-core L1I/L1D/L2 caches and TLBs, a decoded-µop
+// cache, per-socket last-level caches, per-socket DRAM channels, and QPI
+// links between sockets. Every cycle the model charges is attributed to one
+// of the measurement components of Table II in the paper, so an execution
+// can be broken down exactly the way the paper's VTune methodology does.
+package hw
+
+import "streamscale/internal/sim"
+
+// Bucket identifies one measurement component from Table II of the paper.
+type Bucket int
+
+const (
+	// TC is effective computation time (issued µops that retire).
+	TC Bucket = iota
+	// TBr is branch misprediction stall time.
+	TBr
+	// FeITLB is front-end stall time due to ITLB misses.
+	FeITLB
+	// FeL1I is front-end stall time due to L1 instruction cache misses.
+	FeL1I
+	// FeILD is instruction length decoder (and IQ-full) stall time.
+	FeILD
+	// FeIDQ is instruction decode queue stall time (dominated by
+	// decoded-µop-cache misses and switch penalties).
+	FeIDQ
+	// BeDTLB is back-end stall time due to DTLB misses.
+	BeDTLB
+	// BeL1D is stall time due to L1 data cache misses that hit L2.
+	BeL1D
+	// BeL2 is stall time due to L2 misses that hit the LLC.
+	BeL2
+	// BeLLCLocal is stall time due to LLC misses served by local memory.
+	BeLLCLocal
+	// BeLLCRemote is stall time due to LLC misses served by another
+	// socket's memory across QPI.
+	BeLLCRemote
+
+	// NumBuckets is the number of measurement components.
+	NumBuckets
+)
+
+var bucketNames = [NumBuckets]string{
+	"computation", "branch-misprediction",
+	"itlb", "l1i-miss", "ild", "idq",
+	"dtlb", "l1d-miss", "l2-miss", "llc-miss-local", "llc-miss-remote",
+}
+
+func (b Bucket) String() string {
+	if b >= 0 && b < NumBuckets {
+		return bucketNames[b]
+	}
+	return "bucket(?)"
+}
+
+// CostVec accumulates cycles per measurement component.
+type CostVec [NumBuckets]sim.Cycles
+
+// Add charges c cycles to bucket b.
+func (v *CostVec) Add(b Bucket, c sim.Cycles) { v[b] += c }
+
+// AddVec accumulates another cost vector into v.
+func (v *CostVec) AddVec(o *CostVec) {
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// Total returns the sum over all buckets.
+func (v *CostVec) Total() sim.Cycles {
+	var t sim.Cycles
+	for _, c := range v {
+		t += c
+	}
+	return t
+}
+
+// FrontEnd returns total front-end stall time (TFe).
+func (v *CostVec) FrontEnd() sim.Cycles {
+	return v[FeITLB] + v[FeL1I] + v[FeILD] + v[FeIDQ]
+}
+
+// BackEnd returns total back-end stall time (TBe).
+func (v *CostVec) BackEnd() sim.Cycles {
+	return v[BeDTLB] + v[BeL1D] + v[BeL2] + v[BeLLCLocal] + v[BeLLCRemote]
+}
+
+// Stalls returns all non-computation time.
+func (v *CostVec) Stalls() sim.Cycles { return v.Total() - v[TC] }

@@ -1,0 +1,169 @@
+package hw
+
+// Cache is a set-associative cache with LRU replacement. Keys are block
+// numbers (the caller chooses the granularity: 64 B lines for data, 256 B
+// blocks for instructions, 4 KB pages for TLBs). The zero value is not
+// usable; construct with NewCache.
+type Cache struct {
+	sets    [][]way
+	setMask uint64
+	assoc   int
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+
+	// OnEvict, if non-nil, is called with each evicted block. The machine
+	// uses this to keep the decoded-µop cache coherent with L1I.
+	OnEvict func(block uint64)
+
+	tick uint64 // logical LRU clock
+}
+
+type way struct {
+	block uint64
+	used  uint64 // last-use tick; 0 = invalid
+	ver   uint32 // coherence version the copy was filled at
+}
+
+// NewCache builds a cache with the given number of sets and associativity.
+// Sets must be a power of two.
+func NewCache(sets, assoc int) *Cache {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("hw: cache sets must be a positive power of two")
+	}
+	if assoc <= 0 {
+		panic("hw: cache associativity must be positive")
+	}
+	c := &Cache{setMask: uint64(sets - 1), assoc: assoc}
+	c.sets = make([][]way, sets)
+	for i := range c.sets {
+		c.sets[i] = make([]way, assoc)
+	}
+	return c
+}
+
+// CacheFor builds a cache sized capacityBytes with blockBytes blocks and the
+// given associativity.
+func CacheFor(capacityBytes, blockBytes, assoc int) *Cache {
+	blocks := capacityBytes / blockBytes
+	sets := blocks / assoc
+	if sets == 0 {
+		sets = 1
+	}
+	// Round down to a power of two.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	return NewCache(p, assoc)
+}
+
+// Access looks up a block, inserting it on miss (evicting LRU if needed),
+// and reports whether it hit. Equivalent to AccessV with version 0.
+func (c *Cache) Access(block uint64) bool { return c.AccessV(block, 0) }
+
+// WriteAccessV is AccessV for a store that just bumped the line's version
+// to ver: a copy at ver-1 belongs to this cache's core from its previous
+// write or read and is upgraded in place (an M-state rewrite), counting as
+// a hit.
+func (c *Cache) WriteAccessV(block uint64, ver uint32) bool {
+	set := c.sets[block&c.setMask]
+	for i := range set {
+		w := &set[i]
+		if w.used != 0 && w.block == block && (w.ver == ver || w.ver == ver-1) {
+			c.tick++
+			w.ver = ver
+			w.used = c.tick
+			c.hits++
+			return true
+		}
+	}
+	return c.AccessV(block, ver)
+}
+
+// AccessV looks up a block requiring coherence version ver: a resident copy
+// filled at an older version is stale (another core wrote the line since)
+// and counts as a miss, refilled at ver. This is the model's lightweight
+// stand-in for MESI invalidations.
+func (c *Cache) AccessV(block uint64, ver uint32) bool {
+	c.tick++
+	set := c.sets[block&c.setMask]
+	var victim *way
+	for i := range set {
+		w := &set[i]
+		if w.used != 0 && w.block == block {
+			if w.ver == ver {
+				w.used = c.tick
+				c.hits++
+				return true
+			}
+			// Stale copy: refill in place at the current version.
+			c.misses++
+			w.ver = ver
+			w.used = c.tick
+			return false
+		}
+		if victim == nil || w.used < victim.used {
+			victim = w
+		}
+	}
+	c.misses++
+	if victim.used != 0 {
+		c.evictions++
+		if c.OnEvict != nil {
+			c.OnEvict(victim.block)
+		}
+	}
+	victim.block = block
+	victim.used = c.tick
+	victim.ver = ver
+	return false
+}
+
+// Contains reports whether a block is resident without touching LRU state.
+func (c *Cache) Contains(block uint64) bool {
+	set := c.sets[block&c.setMask]
+	for i := range set {
+		if set[i].used != 0 && set[i].block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes a block if present.
+func (c *Cache) Invalidate(block uint64) {
+	set := c.sets[block&c.setMask]
+	for i := range set {
+		if set[i].used != 0 && set[i].block == block {
+			set[i].used = 0
+			return
+		}
+	}
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = way{}
+		}
+	}
+	c.hits, c.misses, c.evictions, c.tick = 0, 0, 0, 0
+}
+
+// Hits returns the number of hits observed.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of misses observed.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses / accesses (0 when no accesses).
+func (c *Cache) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}

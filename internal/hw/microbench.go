@@ -1,0 +1,109 @@
+package hw
+
+import "streamscale/internal/sim"
+
+// Memory-hierarchy microbenchmarks over the simulated machine — the
+// model's equivalent of lmbench: measure effective load-to-use latency at
+// each working-set size and the achievable bandwidths, to validate the
+// machine against its spec (and against the real Sandy Bridge numbers the
+// spec encodes).
+
+// LatencyPoint is one working-set measurement.
+type LatencyPoint struct {
+	WorkingSetBytes int
+	// Cycles is the mean charged cycles per 64 B line access once warm.
+	Cycles float64
+	// Level names the hierarchy level the working set lands in.
+	Level string
+}
+
+// MeasureLatency walks working sets from 16 KB to maxBytes on one core,
+// local socket, and reports warm per-access costs.
+func MeasureLatency(m *Machine, maxBytes int) []LatencyPoint {
+	var out []LatencyPoint
+	for ws := 16 << 10; ws <= maxBytes; ws *= 2 {
+		out = append(out, LatencyPoint{
+			WorkingSetBytes: ws,
+			Cycles:          strideCost(m, 0, DataAddr(0, 1<<30), ws),
+			Level:           levelFor(&m.Spec, ws),
+		})
+	}
+	return out
+}
+
+// MeasureRemoteLatency is MeasureLatency against another socket's memory.
+func MeasureRemoteLatency(m *Machine, maxBytes int) []LatencyPoint {
+	var out []LatencyPoint
+	for ws := 16 << 10; ws <= maxBytes; ws *= 2 {
+		out = append(out, LatencyPoint{
+			WorkingSetBytes: ws,
+			Cycles:          strideCost(m, 0, DataAddr(1, 1<<30), ws),
+			Level:           levelFor(&m.Spec, ws) + "/remote",
+		})
+	}
+	return out
+}
+
+// strideCost strides a working set twice (warm-up pass, measured pass) and
+// returns the measured mean cycles per line.
+func strideCost(m *Machine, core int, base uint64, ws int) float64 {
+	var sink CostVec
+	now := sim.Cycles(0)
+	pass := func(charge bool) float64 {
+		var total sim.Cycles
+		for off := 0; off < ws; off += LineBytes {
+			c := m.DataAccess(core, base+uint64(off), 8, now, &sink)
+			now += c + 4
+			if charge {
+				total += c
+			}
+		}
+		return float64(total) / float64(ws/LineBytes)
+	}
+	pass(false)
+	return pass(true)
+}
+
+func levelFor(spec *MachineSpec, ws int) string {
+	switch {
+	case ws <= spec.L1D.CapacityBytes:
+		return "L1D"
+	case ws <= spec.L2.CapacityBytes:
+		return "L2"
+	case ws <= spec.LLC.CapacityBytes:
+		return "LLC"
+	}
+	return "DRAM"
+}
+
+// BandwidthPoint is one streaming-bandwidth measurement.
+type BandwidthPoint struct {
+	// Streams is the number of concurrent streaming cores.
+	Streams int
+	// GBps is the aggregate achieved bandwidth in GB/s.
+	GBps float64
+	// Remote streams cross QPI.
+	Remote bool
+}
+
+// MeasureBandwidth streams bytes from n cores of socket 0 (locally, or from
+// socket 1's memory when remote) and reports aggregate throughput.
+func MeasureBandwidth(m *Machine, streams int, remote bool) BandwidthPoint {
+	const perStream = 64 << 20
+	home := 0
+	if remote {
+		home = 1
+	}
+	var worst sim.Cycles
+	for c := 0; c < streams; c++ {
+		var sink CostVec
+		base := DataAddr(home, uint64(2<<30+c*perStream*2))
+		cost := m.StreamAccess(c, base, perStream, 0, &sink)
+		if cost > worst {
+			worst = cost
+		}
+	}
+	seconds := worst.Seconds(m.Spec.ClockHz)
+	total := float64(perStream*streams) / 1e9
+	return BandwidthPoint{Streams: streams, GBps: total / seconds, Remote: remote}
+}

@@ -1,0 +1,69 @@
+package hw
+
+import "testing"
+
+func TestMeasureLatencyHierarchy(t *testing.T) {
+	m := NewMachine(TableIII())
+	pts := MeasureLatency(m, 64<<20)
+
+	byLevel := map[string]float64{}
+	for _, p := range pts {
+		byLevel[p.Level] = p.Cycles // deepest working set per level wins
+	}
+	// Warm L1-resident sets are effectively free in the model.
+	if byLevel["L1D"] > 1 {
+		t.Fatalf("L1D working set costs %.1f cycles/access", byLevel["L1D"])
+	}
+	// Each level down costs strictly more.
+	if !(byLevel["L1D"] < byLevel["L2"] && byLevel["L2"] < byLevel["LLC"] && byLevel["LLC"] < byLevel["DRAM"]) {
+		t.Fatalf("latency not monotone down the hierarchy: %v", byLevel)
+	}
+	// DRAM-resident sets approach the spec's local latency.
+	spec := TableIII()
+	if byLevel["DRAM"] < float64(spec.Latency.LocalDRAM)*0.6 {
+		t.Fatalf("DRAM latency %.0f cycles implausibly below spec %d", byLevel["DRAM"], spec.Latency.LocalDRAM)
+	}
+}
+
+func TestMeasureRemoteLatencyAboveLocal(t *testing.T) {
+	m1 := NewMachine(TableIII())
+	m2 := NewMachine(TableIII())
+	local := MeasureLatency(m1, 64<<20)
+	remote := MeasureRemoteLatency(m2, 64<<20)
+	lastL := local[len(local)-1].Cycles
+	lastR := remote[len(remote)-1].Cycles
+	if lastR <= lastL {
+		t.Fatalf("remote DRAM (%.0f) not above local (%.0f)", lastR, lastL)
+	}
+}
+
+func TestMeasureBandwidthScalesAndSaturates(t *testing.T) {
+	spec := TableIII()
+	peak := spec.LocalBWBytesPerCycle * float64(spec.ClockHz) / 1e9 // GB/s
+
+	one := MeasureBandwidth(NewMachine(spec), 1, false)
+	eight := MeasureBandwidth(NewMachine(spec), 8, false)
+	if eight.GBps <= one.GBps {
+		t.Fatalf("bandwidth did not scale with streams: %.1f -> %.1f GB/s", one.GBps, eight.GBps)
+	}
+	if eight.GBps > peak*1.05 {
+		t.Fatalf("aggregate %.1f GB/s exceeds the %.1f GB/s channel", eight.GBps, peak)
+	}
+	// Saturation: 8 streams should reach a large fraction of peak.
+	if eight.GBps < peak*0.5 {
+		t.Fatalf("8 streams reach only %.1f of %.1f GB/s", eight.GBps, peak)
+	}
+}
+
+func TestMeasureBandwidthRemoteBelowLocal(t *testing.T) {
+	local := MeasureBandwidth(NewMachine(TableIII()), 4, false)
+	remote := MeasureBandwidth(NewMachine(TableIII()), 4, true)
+	if remote.GBps >= local.GBps {
+		t.Fatalf("remote streaming %.1f GB/s not below local %.1f (QPI cap)", remote.GBps, local.GBps)
+	}
+	// Remote aggregate is bounded by one QPI link direction.
+	qpiPeak := TableIII().QPIBWBytesPerCycle * 2.4 // GB/s
+	if remote.GBps > qpiPeak*1.2 {
+		t.Fatalf("remote %.1f GB/s implausibly above the QPI link (%.1f GB/s)", remote.GBps, qpiPeak)
+	}
+}

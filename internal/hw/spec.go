@@ -1,0 +1,132 @@
+package hw
+
+import "streamscale/internal/sim"
+
+// CacheSpec sizes one cache level.
+type CacheSpec struct {
+	CapacityBytes int
+	BlockBytes    int
+	Assoc         int
+}
+
+// TLBSpec sizes one TLB.
+type TLBSpec struct {
+	Entries int
+	Assoc   int
+}
+
+// LatencySpec holds load-to-use latencies in cycles for each level of the
+// memory hierarchy (uncontended; DRAM adds queueing under load).
+type LatencySpec struct {
+	L2         sim.Cycles // L1 miss served by L2
+	LLC        sim.Cycles // L2 miss served by LLC
+	LocalDRAM  sim.Cycles // LLC miss served by local memory
+	RemoteDRAM sim.Cycles // LLC miss served by a remote socket's memory
+	STLBHit    sim.Cycles // first-level TLB miss that hits the STLB
+	PageWalk   sim.Cycles // STLB miss page walk
+}
+
+// DecodeSpec holds front-end decode-path costs.
+type DecodeSpec struct {
+	// UopCacheBytes is the code span the decoded-µop cache (D-ICache) can
+	// cover (1.5 kµop on Sandy Bridge, roughly 6 KB of hot code).
+	UopCacheBytes int
+	// ILDPerBlock is the instruction-length-decode (and IQ pressure) cost
+	// of legacy-decoding one instruction block that missed the µop cache.
+	ILDPerBlock sim.Cycles
+	// IDQPerBlock is the decode-queue cost of the same event.
+	IDQPerBlock sim.Cycles
+	// SwitchPenalty is charged when the front-end falls back from the µop
+	// cache to the legacy decode pipeline after an L1I miss invalidation.
+	SwitchPenalty sim.Cycles
+}
+
+// MachineSpec describes a simulated machine. The default corresponds to
+// Table III of the paper: a 4-socket Intel Xeon E5-4640 (Sandy Bridge EP).
+type MachineSpec struct {
+	Sockets        int
+	CoresPerSocket int
+	ClockHz        int64
+
+	L1I CacheSpec
+	L1D CacheSpec
+	L2  CacheSpec
+	LLC CacheSpec // per socket
+
+	ITLB TLBSpec
+	DTLB TLBSpec
+	STLB TLBSpec
+
+	PageBytes int // 4096, or 2 MB with huge pages enabled
+
+	Latency LatencySpec
+	Decode  DecodeSpec
+
+	// LocalBWBytesPerCycle is the per-socket DRAM bandwidth
+	// (51.2 GB/s at 2.4 GHz = 21.33 B/cycle).
+	LocalBWBytesPerCycle float64
+	// QPIBWBytesPerCycle is the bandwidth of one QPI link direction
+	// (8 GB/s of the 16 GB/s bidirectional pair = 3.33 B/cycle).
+	QPIBWBytesPerCycle float64
+
+	// MispredictPenalty is the pipeline flush cost of one branch
+	// misprediction.
+	MispredictPenalty sim.Cycles
+	// CyclesPerUop is the retirement-limited cost of one µop on an
+	// otherwise unstalled out-of-order core (issue width 4, sustained
+	// IPC ~2.9 for this class of code).
+	CyclesPerUop float64
+}
+
+// TableIII returns the machine from the paper's Table III.
+func TableIII() MachineSpec {
+	return MachineSpec{
+		Sockets:        4,
+		CoresPerSocket: 8,
+		ClockHz:        2_400_000_000,
+
+		// Instruction-side state is tracked at 512 B block granularity: the
+		// model charges fetch/decode per block, trading tag-level fidelity
+		// for simulation speed while preserving capacity behaviour.
+		L1I: CacheSpec{CapacityBytes: 32 << 10, BlockBytes: 512, Assoc: 8},
+		L1D: CacheSpec{CapacityBytes: 32 << 10, BlockBytes: 64, Assoc: 8},
+		L2:  CacheSpec{CapacityBytes: 256 << 10, BlockBytes: 64, Assoc: 8},
+		LLC: CacheSpec{CapacityBytes: 20 << 20, BlockBytes: 64, Assoc: 20},
+
+		ITLB: TLBSpec{Entries: 128, Assoc: 4},
+		DTLB: TLBSpec{Entries: 64, Assoc: 4},
+		STLB: TLBSpec{Entries: 512, Assoc: 4},
+
+		PageBytes: 4096,
+
+		Latency: LatencySpec{
+			L2:         12,
+			LLC:        40,
+			LocalDRAM:  180,
+			RemoteDRAM: 310,
+			STLBHit:    7,
+			PageWalk:   45,
+		},
+		Decode: DecodeSpec{
+			UopCacheBytes: 6 << 10,
+			ILDPerBlock:   5,
+			IDQPerBlock:   4,
+			SwitchPenalty: 7,
+		},
+
+		LocalBWBytesPerCycle: 51.2e9 / 2.4e9,
+		QPIBWBytesPerCycle:   8.0e9 / 2.4e9,
+
+		MispredictPenalty: 17,
+		CyclesPerUop:      0.34,
+	}
+}
+
+// TotalCores returns the machine's core count.
+func (s MachineSpec) TotalCores() int { return s.Sockets * s.CoresPerSocket }
+
+// WithHugePages returns the spec with 2 MB pages.
+func (s MachineSpec) WithHugePages() MachineSpec {
+	s.PageBytes = 2 << 20
+	return s
+}

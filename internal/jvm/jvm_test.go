@@ -1,0 +1,156 @@
+package jvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamscale/internal/hw"
+)
+
+func TestAllocNUMAHonorsSocket(t *testing.T) {
+	h := NewHeap(4, G1())
+	for sk := 0; sk < 4; sk++ {
+		addr, _ := h.Alloc(sk, 64)
+		if got := hw.HomeSocket(addr); got != sk {
+			t.Fatalf("NUMA alloc on socket %d homed at %d", sk, got)
+		}
+	}
+}
+
+func TestAllocNonNUMAInterleaves(t *testing.T) {
+	cfg := G1()
+	cfg.UseNUMA = false
+	h := NewHeap(4, cfg)
+	homes := map[int]int{}
+	for i := 0; i < 40; i++ {
+		addr, _ := h.Alloc(0, 64) // always "from" socket 0
+		homes[hw.HomeSocket(addr)]++
+	}
+	for sk := 0; sk < 4; sk++ {
+		if homes[sk] != 10 {
+			t.Fatalf("socket %d got %d allocations, want 10 (interleaved)", sk, homes[sk])
+		}
+	}
+}
+
+func TestAllocAddressesDisjointAndAligned(t *testing.T) {
+	h := NewHeap(2, G1())
+	var prevEnd uint64
+	for i := 0; i < 100; i++ {
+		addr, _ := h.Alloc(1, 24)
+		off := hw.Offset(addr)
+		if off%16 != 0 {
+			t.Fatalf("allocation %d not 16-byte aligned: %#x", i, off)
+		}
+		if i > 0 && off < prevEnd {
+			t.Fatalf("allocation %d overlaps previous (off %#x < end %#x)", i, off, prevEnd)
+		}
+		prevEnd = off + 24 + HeaderBytes
+	}
+}
+
+func TestMinorGCTriggersAtYoungBoundary(t *testing.T) {
+	cfg := G1()
+	cfg.YoungBytes = 10_000
+	h := NewHeap(1, cfg)
+	var paused int
+	for i := 0; i < 100; i++ {
+		_, pause := h.Alloc(0, 200-HeaderBytes)
+		if pause > 0 {
+			paused++
+		}
+	}
+	// 100 * 200 bytes = 20 KB allocated, young gen 10 KB: exactly 2 GCs.
+	if h.MinorGCs() != 2 || paused != 2 {
+		t.Fatalf("minor GCs = %d (paused allocs %d), want 2", h.MinorGCs(), paused)
+	}
+	if h.GCCycles() <= 0 {
+		t.Fatal("GC cycles not accounted")
+	}
+}
+
+func TestParallelGCCostsMoreThanG1(t *testing.T) {
+	run := func(cfg Config) int64 {
+		cfg.YoungBytes = 1 << 20
+		h := NewHeap(1, cfg)
+		for i := 0; i < 10_000; i++ {
+			h.Alloc(0, 200)
+		}
+		return int64(h.GCCycles())
+	}
+	g1 := run(G1())
+	par := run(Parallel())
+	if par <= g1*3 {
+		t.Fatalf("parallelGC cycles %d not substantially above G1 %d", par, g1)
+	}
+}
+
+func TestGCOverheadOrderOfMagnitude(t *testing.T) {
+	// Sanity-check the paper's finding is reachable: at the benchmark
+	// applications' allocation intensity (~40 cycles of execution per
+	// allocated byte), G1's mutator-visible overhead should be in the low
+	// single-digit percent range and parallelGC's near 10-15%.
+	perByteBudget := 40.0
+	overhead := func(cfg Config) float64 {
+		h := NewHeap(1, cfg)
+		bytes := uint64(2 << 30)
+		var alloc uint64
+		for alloc < bytes {
+			h.Alloc(0, 240)
+			alloc += 256
+		}
+		exec := float64(alloc) * perByteBudget
+		return float64(h.GCCycles()) / (exec + float64(h.GCCycles()))
+	}
+	if g1 := overhead(G1()); g1 < 0.005 || g1 > 0.05 {
+		t.Fatalf("G1 overhead = %.3f, want roughly 1-3%%", g1)
+	}
+	if par := overhead(Parallel()); par < 0.06 || par > 0.25 {
+		t.Fatalf("parallelGC overhead = %.3f, want roughly 10-15%%", par)
+	}
+}
+
+func TestMetaspaceDistinctPagesPerClass(t *testing.T) {
+	ms := NewMetaspace(4096)
+	a := ms.ClassID("WordCount")
+	b := ms.ClassID("Splitter")
+	if a == b {
+		t.Fatal("two classes share a vtable address")
+	}
+	if ms.ClassID("WordCount") != a {
+		t.Fatal("interning is not stable")
+	}
+	if a>>12 == b>>12 {
+		t.Fatal("two classes share a page; no DTLB pressure would result")
+	}
+	if hw.HomeSocket(a) != 0 {
+		t.Fatal("metaspace not homed on socket 0")
+	}
+	if ms.Loaded() != 2 {
+		t.Fatalf("loaded = %d, want 2", ms.Loaded())
+	}
+}
+
+func TestAllocProperty(t *testing.T) {
+	// Property: allocations never overlap, regardless of size sequence.
+	f := func(sizes []uint8) bool {
+		h := NewHeap(2, G1())
+		type span struct{ lo, hi uint64 }
+		var spans []span
+		for _, s := range sizes {
+			addr, _ := h.Alloc(1, int(s))
+			lo := hw.Offset(addr)
+			hi := lo + uint64(s) + HeaderBytes
+			for _, sp := range spans {
+				if lo < sp.hi && sp.lo < hi {
+					return false
+				}
+			}
+			spans = append(spans, span{lo, hi})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package jvm
+
+import (
+	"testing"
+
+	"streamscale/internal/hw"
+)
+
+// The simulated address space has four disjoint regions per socket: the
+// circular young generation, the tenured region, the metaspace (socket 0),
+// and the code range. Overlap would let unrelated state alias in the cache
+// model.
+func TestAddressRegionsDisjoint(t *testing.T) {
+	cfg := G1()
+	cfg.YoungBytes = 4 << 20
+	h := NewHeap(4, cfg)
+	ms := NewMetaspace(4096)
+
+	youngMax := uint64(0)
+	for i := 0; i < 10_000; i++ {
+		a, _ := h.Alloc(2, 240)
+		if off := hw.Offset(a); off > youngMax {
+			youngMax = off
+		}
+	}
+	tenured := h.AllocTenured(2, 1<<20)
+	if hw.Offset(tenured) <= youngMax {
+		t.Fatalf("tenured offset %#x inside young range (max %#x)", hw.Offset(tenured), youngMax)
+	}
+
+	meta := ms.ClassID("SomeClass")
+	if hw.HomeSocket(meta) != 0 {
+		t.Fatal("metaspace not on socket 0")
+	}
+	if hw.Offset(meta) <= hw.Offset(tenured) {
+		t.Fatalf("metaspace offset %#x not above tenured %#x", hw.Offset(meta), hw.Offset(tenured))
+	}
+	if meta >= hw.CodeBase {
+		t.Fatal("metaspace collides with the code range")
+	}
+	if !hw.IsData(meta) || !hw.IsData(tenured) {
+		t.Fatal("heap addresses not classified as data")
+	}
+}
+
+// The young generation wraps: allocations reuse addresses with the young
+// generation's period, and never collide with tenured allocations made
+// meanwhile.
+func TestYoungGenerationWraps(t *testing.T) {
+	cfg := G1()
+	cfg.YoungBytes = 256 << 10 // 64 KB per socket
+	h := NewHeap(4, cfg)
+	first, _ := h.Alloc(1, 240)
+	seen := map[uint64]bool{hw.Offset(first): true}
+	wrapped := false
+	for i := 0; i < 2_000; i++ {
+		a, _ := h.Alloc(1, 240)
+		if seen[hw.Offset(a)] {
+			wrapped = true
+			break
+		}
+		seen[hw.Offset(a)] = true
+	}
+	if !wrapped {
+		t.Fatal("young generation never reused an address")
+	}
+	// Tenured allocations stay stable while young wraps.
+	t1 := h.AllocTenured(1, 4096)
+	for i := 0; i < 2_000; i++ {
+		h.Alloc(1, 240)
+	}
+	t2 := h.AllocTenured(1, 4096)
+	if t2 <= t1 {
+		t.Fatal("tenured cursor moved backwards")
+	}
+	if hw.Offset(t1) < h.youngPer {
+		t.Fatal("tenured allocation below the young region boundary")
+	}
+}
+
+func TestHeapAccessors(t *testing.T) {
+	h := NewHeap(2, G1())
+	h.Alloc(0, 100)
+	if h.AllocatedBytes() == 0 {
+		t.Fatal("allocation not counted")
+	}
+	if h.Config().Kind != G1GC {
+		t.Fatal("config accessor broken")
+	}
+	if G1GC.String() != "g1" || ParallelGC.String() != "parallel" {
+		t.Fatal("collector names wrong")
+	}
+}

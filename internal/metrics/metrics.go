@@ -1,0 +1,155 @@
+// Package metrics provides the measurement primitives used by both the
+// native and simulated runtimes: throughput meters, latency histograms with
+// quantiles, and simple gauges.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram collects float64 observations (latencies, footprints) and
+// reports distribution statistics. For bounded memory it keeps up to a cap
+// of raw samples using reservoir-free striding: after the cap is hit it
+// keeps every k-th observation, doubling k each time the buffer refills.
+// Mean, count, and standard deviation are always exact.
+type Histogram struct {
+	samples []float64
+	cap     int
+	stride  int
+	skip    int
+
+	count int64
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+}
+
+// NewHistogram creates a histogram keeping at most cap raw samples
+// (cap <= 0 selects a default of 65536).
+func NewHistogram(cap int) *Histogram {
+	if cap <= 0 {
+		cap = 65536
+	}
+	return &Histogram{cap: cap, stride: 1, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.count++
+	h.sum += v
+	h.sumSq += v * v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if h.skip > 0 {
+		h.skip--
+		return
+	}
+	h.skip = h.stride - 1
+	if len(h.samples) >= h.cap {
+		// Decimate: keep every other sample, double the stride.
+		kept := h.samples[:0]
+		for i := 0; i < len(h.samples); i += 2 {
+			kept = append(kept, h.samples[i])
+		}
+		h.samples = kept
+		h.stride *= 2
+		h.skip = h.stride - 1
+	}
+	h.samples = append(h.samples, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the exact mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Stddev returns the exact population standard deviation.
+func (h *Histogram) Stddev() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	m := h.Mean()
+	v := h.sumSq/float64(h.count) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) over the retained samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), h.samples...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// CDFAt returns the fraction of retained samples <= x.
+func (h *Histogram) CDFAt(x float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range h.samples {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(h.samples))
+}
+
+// Samples returns the retained samples (shared slice; do not mutate).
+func (h *Histogram) Samples() []float64 { return h.samples }
+
+// Throughput expresses a count over a duration in events per second.
+type Throughput struct {
+	Events  int64
+	Seconds float64
+}
+
+// PerSecond returns events per second (0 for a zero duration).
+func (t Throughput) PerSecond() float64 {
+	if t.Seconds <= 0 {
+		return 0
+	}
+	return float64(t.Events) / t.Seconds
+}
+
+// KPerSecond returns thousands of events per second.
+func (t Throughput) KPerSecond() float64 { return t.PerSecond() / 1e3 }
+
+func (t Throughput) String() string {
+	return fmt.Sprintf("%.1f k events/s", t.KPerSecond())
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram(0)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("mean = %v, want 3", h.Mean())
+	}
+	if got := h.Stddev(); math.Abs(got-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %v, want sqrt(2)", got)
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("min/max = %v/%v, want 1/5", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Mean() != 0 || h.Stddev() != 0 || h.Quantile(0.5) != 0 || h.CDFAt(10) != 0 {
+		t.Fatal("empty histogram returned nonzero statistics")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if q := h.Quantile(0.5); q < 45 || q > 55 {
+		t.Fatalf("median = %v, want ~50", q)
+	}
+	if q := h.Quantile(0.99); q < 95 {
+		t.Fatalf("p99 = %v, want >= 95", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("p0 = %v, want 1", q)
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.CDFAt(5); got != 0.5 {
+		t.Fatalf("CDF(5) = %v, want 0.5", got)
+	}
+	if got := h.CDFAt(100); got != 1.0 {
+		t.Fatalf("CDF(100) = %v, want 1", got)
+	}
+	if got := h.CDFAt(0); got != 0 {
+		t.Fatalf("CDF(0) = %v, want 0", got)
+	}
+}
+
+func TestHistogramDecimationKeepsExactMoments(t *testing.T) {
+	h := NewHistogram(128)
+	rng := rand.New(rand.NewSource(3))
+	var sum float64
+	n := 10_000
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 100
+		sum += v
+		h.Observe(v)
+	}
+	if h.Count() != int64(n) {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if math.Abs(h.Mean()-sum/float64(n)) > 1e-9 {
+		t.Fatal("mean drifted under decimation")
+	}
+	if len(h.Samples()) > 128 {
+		t.Fatalf("retained %d samples, cap 128", len(h.Samples()))
+	}
+	// Retained samples still approximate the distribution.
+	if q := h.Quantile(0.5); q < 35 || q > 65 {
+		t.Fatalf("median after decimation = %v, want ~50", q)
+	}
+}
+
+func TestHistogramPropertyMeanWithinRange(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram(64)
+		for _, v := range vals {
+			// Constrain to magnitudes metrics actually see (latencies,
+			// byte counts); sumSq overflows near MaxFloat64 by design.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			h.Observe(v)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		return h.Mean() >= h.Min()-1e-9 && h.Mean() <= h.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Events: 50_000, Seconds: 2}
+	if tp.PerSecond() != 25_000 {
+		t.Fatalf("rate = %v, want 25000", tp.PerSecond())
+	}
+	if tp.KPerSecond() != 25 {
+		t.Fatalf("krate = %v, want 25", tp.KPerSecond())
+	}
+	if (Throughput{Events: 5}).PerSecond() != 0 {
+		t.Fatal("zero-duration throughput not zero")
+	}
+}

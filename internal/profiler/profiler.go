@@ -1,0 +1,190 @@
+// Package profiler aggregates the hardware model's per-bucket cycle charges
+// into the execution-time breakdowns reported in the paper: Figure 7
+// (computation / front-end / back-end / bad speculation), Figure 8
+// (front-end components), Figure 11 (back-end components), Table V (LLC
+// local vs. remote), and the Figure 9 instruction-footprint CDF.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"streamscale/internal/hw"
+	"streamscale/internal/metrics"
+	"streamscale/internal/sim"
+)
+
+// Profile is the aggregate processor-time account of one run.
+type Profile struct {
+	Costs     hw.CostVec
+	GCCycles  sim.Cycles // mutator-visible GC time (tracked separately, §V-D)
+	Footprint *metrics.Histogram
+}
+
+// New returns an empty profile.
+func New() *Profile {
+	return &Profile{Footprint: metrics.NewHistogram(1 << 16)}
+}
+
+// Add merges a cost vector into the profile.
+func (p *Profile) Add(v *hw.CostVec) { p.Costs.AddVec(v) }
+
+// NoteFootprint records one instruction-footprint sample (bytes of other
+// code executed between two consecutive invocations of the same function).
+func (p *Profile) NoteFootprint(bytes int) {
+	if bytes >= 0 {
+		p.Footprint.Observe(float64(bytes))
+	}
+}
+
+// Total returns total accounted cycles.
+func (p *Profile) Total() sim.Cycles { return p.Costs.Total() }
+
+// Share returns bucket b's share of total accounted cycles.
+func (p *Profile) Share(b hw.Bucket) float64 {
+	t := p.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.Costs[b]) / float64(t)
+}
+
+// Breakdown is the Figure 7 view: four top-level components.
+type Breakdown struct {
+	Computation float64
+	FrontEnd    float64
+	BackEnd     float64
+	BadSpec     float64
+}
+
+// Breakdown returns the top-level execution-time breakdown.
+func (p *Profile) Breakdown() Breakdown {
+	t := float64(p.Total())
+	if t == 0 {
+		return Breakdown{}
+	}
+	return Breakdown{
+		Computation: float64(p.Costs[hw.TC]) / t,
+		FrontEnd:    float64(p.Costs.FrontEnd()) / t,
+		BackEnd:     float64(p.Costs.BackEnd()) / t,
+		BadSpec:     float64(p.Costs[hw.TBr]) / t,
+	}
+}
+
+// FrontEndBreakdown returns the Figure 8 view: shares of front-end stall
+// time only. I-decoding combines ILD and IDQ stalls, as the paper does.
+type FrontEndBreakdown struct {
+	IDecoding float64
+	L1IMiss   float64
+	ITLB      float64
+}
+
+// FrontEnd returns the front-end stall component shares.
+func (p *Profile) FrontEnd() FrontEndBreakdown {
+	fe := float64(p.Costs.FrontEnd())
+	if fe == 0 {
+		return FrontEndBreakdown{}
+	}
+	return FrontEndBreakdown{
+		IDecoding: float64(p.Costs[hw.FeILD]+p.Costs[hw.FeIDQ]) / fe,
+		L1IMiss:   float64(p.Costs[hw.FeL1I]) / fe,
+		ITLB:      float64(p.Costs[hw.FeITLB]) / fe,
+	}
+}
+
+// BackEndBreakdown returns the Figure 11 view: shares of back-end stall time.
+type BackEndBreakdown struct {
+	L1D  float64
+	L2   float64
+	LLC  float64 // local + remote combined, as Fig 11 plots
+	DTLB float64
+}
+
+// BackEnd returns the back-end stall component shares.
+func (p *Profile) BackEnd() BackEndBreakdown {
+	be := float64(p.Costs.BackEnd())
+	if be == 0 {
+		return BackEndBreakdown{}
+	}
+	return BackEndBreakdown{
+		L1D:  float64(p.Costs[hw.BeL1D]) / be,
+		L2:   float64(p.Costs[hw.BeL2]) / be,
+		LLC:  float64(p.Costs[hw.BeLLCLocal]+p.Costs[hw.BeLLCRemote]) / be,
+		DTLB: float64(p.Costs[hw.BeDTLB]) / be,
+	}
+}
+
+// LLCMissShares returns Table V's rows: LLC miss stall time served locally
+// and remotely as fractions of total execution time.
+func (p *Profile) LLCMissShares() (local, remote float64) {
+	t := float64(p.Total())
+	if t == 0 {
+		return 0, 0
+	}
+	return float64(p.Costs[hw.BeLLCLocal]) / t, float64(p.Costs[hw.BeLLCRemote]) / t
+}
+
+// GCShare returns mutator-visible GC time as a fraction of execution time.
+func (p *Profile) GCShare() float64 {
+	t := float64(p.Total())
+	if t == 0 {
+		return 0
+	}
+	return float64(p.GCCycles) / t
+}
+
+// FootprintCDF returns CDF points (footprint bytes, cumulative fraction) at
+// the given byte thresholds — the Figure 9 curve.
+func (p *Profile) FootprintCDF(thresholds []int) []CDFPoint {
+	pts := make([]CDFPoint, 0, len(thresholds))
+	for _, x := range thresholds {
+		pts = append(pts, CDFPoint{Bytes: x, Fraction: p.Footprint.CDFAt(float64(x))})
+	}
+	return pts
+}
+
+// CDFPoint is one point of the footprint CDF.
+type CDFPoint struct {
+	Bytes    int
+	Fraction float64
+}
+
+// DefaultCDFThresholds covers 64 B to 64 MB on a log scale, bracketing the
+// L1I (32 KB), L2 (256 KB), and LLC (20 MB) capacities marked in Figure 9.
+func DefaultCDFThresholds() []int {
+	var ts []int
+	for b := 64; b <= 64<<20; b *= 2 {
+		ts = append(ts, b)
+	}
+	return ts
+}
+
+// String renders the profile as a compact multi-line report.
+func (p *Profile) String() string {
+	var sb strings.Builder
+	bd := p.Breakdown()
+	fmt.Fprintf(&sb, "computation %5.1f%%  front-end %5.1f%%  back-end %5.1f%%  bad-spec %4.1f%%\n",
+		bd.Computation*100, bd.FrontEnd*100, bd.BackEnd*100, bd.BadSpec*100)
+	fe := p.FrontEnd()
+	fmt.Fprintf(&sb, "front-end:  i-decoding %5.1f%%  l1i %5.1f%%  itlb %5.1f%%\n",
+		fe.IDecoding*100, fe.L1IMiss*100, fe.ITLB*100)
+	be := p.BackEnd()
+	fmt.Fprintf(&sb, "back-end:   l1d %5.1f%%  l2 %5.1f%%  llc %5.1f%%  dtlb %5.1f%%\n",
+		be.L1D*100, be.L2*100, be.LLC*100, be.DTLB*100)
+	lo, re := p.LLCMissShares()
+	fmt.Fprintf(&sb, "llc miss:   local %4.1f%%  remote %4.1f%%   gc %4.1f%%",
+		lo*100, re*100, p.GCShare()*100)
+	return sb.String()
+}
+
+// SortedBuckets returns buckets ordered by descending cycle share, for
+// reports that list the dominant components first.
+func (p *Profile) SortedBuckets() []hw.Bucket {
+	bs := make([]hw.Bucket, 0, hw.NumBuckets)
+	for b := hw.Bucket(0); b < hw.NumBuckets; b++ {
+		bs = append(bs, b)
+	}
+	sort.SliceStable(bs, func(i, j int) bool { return p.Costs[bs[i]] > p.Costs[bs[j]] })
+	return bs
+}

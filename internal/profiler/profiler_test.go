@@ -1,0 +1,163 @@
+package profiler
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"streamscale/internal/hw"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBreakdownSharesSumToOne(t *testing.T) {
+	p := New()
+	var v hw.CostVec
+	v.Add(hw.TC, 300)
+	v.Add(hw.TBr, 40)
+	v.Add(hw.FeL1I, 200)
+	v.Add(hw.FeILD, 100)
+	v.Add(hw.BeL1D, 250)
+	v.Add(hw.BeLLCRemote, 110)
+	p.Add(&v)
+
+	bd := p.Breakdown()
+	sum := bd.Computation + bd.FrontEnd + bd.BackEnd + bd.BadSpec
+	if !almost(sum, 1.0) {
+		t.Fatalf("breakdown sums to %v, want 1", sum)
+	}
+	if !almost(bd.Computation, 0.3) {
+		t.Fatalf("computation = %v, want 0.3", bd.Computation)
+	}
+	if !almost(bd.FrontEnd, 0.3) {
+		t.Fatalf("front-end = %v, want 0.3", bd.FrontEnd)
+	}
+}
+
+func TestFrontEndBreakdown(t *testing.T) {
+	p := New()
+	var v hw.CostVec
+	v.Add(hw.FeL1I, 50)
+	v.Add(hw.FeILD, 30)
+	v.Add(hw.FeIDQ, 10)
+	v.Add(hw.FeITLB, 10)
+	p.Add(&v)
+	fe := p.FrontEnd()
+	if !almost(fe.L1IMiss, 0.5) || !almost(fe.IDecoding, 0.4) || !almost(fe.ITLB, 0.1) {
+		t.Fatalf("front-end breakdown = %+v", fe)
+	}
+}
+
+func TestBackEndBreakdownAndTableV(t *testing.T) {
+	p := New()
+	var v hw.CostVec
+	v.Add(hw.TC, 500)
+	v.Add(hw.BeL1D, 100)
+	v.Add(hw.BeL2, 100)
+	v.Add(hw.BeLLCLocal, 50)
+	v.Add(hw.BeLLCRemote, 200)
+	v.Add(hw.BeDTLB, 50)
+	p.Add(&v)
+	be := p.BackEnd()
+	if !almost(be.LLC, 0.5) || !almost(be.L1D, 0.2) || !almost(be.DTLB, 0.1) {
+		t.Fatalf("back-end breakdown = %+v", be)
+	}
+	lo, re := p.LLCMissShares()
+	if !almost(lo, 0.05) || !almost(re, 0.2) {
+		t.Fatalf("LLC shares = %v/%v, want 0.05/0.2", lo, re)
+	}
+}
+
+func TestEmptyProfileIsAllZeros(t *testing.T) {
+	p := New()
+	bd := p.Breakdown()
+	if bd.Computation != 0 || bd.FrontEnd != 0 {
+		t.Fatal("empty profile has nonzero breakdown")
+	}
+	fe := p.FrontEnd()
+	if fe.IDecoding != 0 {
+		t.Fatal("empty profile has front-end shares")
+	}
+	if p.GCShare() != 0 {
+		t.Fatal("empty profile has GC share")
+	}
+}
+
+func TestFootprintCDF(t *testing.T) {
+	p := New()
+	p.NoteFootprint(-1) // first-invocation marker: must be ignored
+	for i := 0; i < 50; i++ {
+		p.NoteFootprint(1024)
+	}
+	for i := 0; i < 50; i++ {
+		p.NoteFootprint(1 << 20)
+	}
+	pts := p.FootprintCDF([]int{512, 2048, 2 << 20})
+	if pts[0].Fraction != 0 {
+		t.Fatalf("CDF(512) = %v, want 0", pts[0].Fraction)
+	}
+	if pts[1].Fraction != 0.5 {
+		t.Fatalf("CDF(2048) = %v, want 0.5", pts[1].Fraction)
+	}
+	if pts[2].Fraction != 1 {
+		t.Fatalf("CDF(2M) = %v, want 1", pts[2].Fraction)
+	}
+	if p.Footprint.Count() != 100 {
+		t.Fatalf("count = %d, want 100 (negative sample not dropped?)", p.Footprint.Count())
+	}
+}
+
+func TestDefaultCDFThresholdsCoverCaches(t *testing.T) {
+	ts := DefaultCDFThresholds()
+	has := func(x int) bool {
+		for _, v := range ts {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	for _, x := range []int{32 << 10, 256 << 10, 16 << 20} {
+		if !has(x) {
+			t.Fatalf("thresholds missing %d", x)
+		}
+	}
+}
+
+func TestGCShare(t *testing.T) {
+	p := New()
+	var v hw.CostVec
+	v.Add(hw.TC, 900)
+	p.Add(&v)
+	p.GCCycles = 100
+	if got := p.GCShare(); !almost(got, 1.0/9.0) {
+		t.Fatalf("GC share = %v, want 1/9", got)
+	}
+}
+
+func TestStringReport(t *testing.T) {
+	p := New()
+	var v hw.CostVec
+	v.Add(hw.TC, 100)
+	v.Add(hw.FeL1I, 100)
+	p.Add(&v)
+	s := p.String()
+	for _, want := range []string{"computation", "front-end", "back-end", "llc miss"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSortedBuckets(t *testing.T) {
+	p := New()
+	var v hw.CostVec
+	v.Add(hw.BeL2, 500)
+	v.Add(hw.TC, 300)
+	v.Add(hw.FeL1I, 700)
+	p.Add(&v)
+	bs := p.SortedBuckets()
+	if bs[0] != hw.FeL1I || bs[1] != hw.BeL2 || bs[2] != hw.TC {
+		t.Fatalf("sorted buckets = %v", bs[:3])
+	}
+}

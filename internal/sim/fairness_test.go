@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+)
+
+// mixedRunner alternates short bursts with blocking, modelling an executor
+// that drains a queue and sleeps.
+type mixedRunner struct {
+	work    Cycles
+	burst   Cycles
+	sched   *Scheduler
+	kernel  *Kernel
+	periods Cycles
+}
+
+func (m *mixedRunner) Step(q Cycles) (Cycles, Disposition) {
+	if m.work <= 0 {
+		return 0, Done
+	}
+	c := m.burst
+	if c > m.work {
+		c = m.work
+	}
+	if c > q {
+		c = q
+	}
+	m.work -= c
+	return c, Yield
+}
+
+// Two CPU-bound threads of equal demand sharing one core finish within one
+// quantum of each other (CFS fairness).
+func TestSchedulerLongRunFairness(t *testing.T) {
+	k := NewKernel()
+	cfg := DefaultSchedulerConfig()
+	s := NewScheduler(k, 1, 1, cfg)
+	a := &mixedRunner{work: 50 * cfg.Quantum, burst: cfg.Quantum}
+	b := &mixedRunner{work: 50 * cfg.Quantum, burst: cfg.Quantum}
+	ta := s.Spawn("a", a, nil)
+	tb := s.Spawn("b", b, nil)
+	k.Run(0)
+	diff := ta.Vruntime() - tb.Vruntime()
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > cfg.Quantum {
+		t.Fatalf("vruntime divergence %d exceeds one quantum %d", diff, cfg.Quantum)
+	}
+}
+
+// Wake placement prefers the previous core when loads are comparable
+// (cache affinity), so a solo blocking thread must not wander.
+func TestSchedulerWakeStickiness(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k, 4, 4, DefaultSchedulerConfig())
+	cores := map[int]bool{}
+	var th *Thread
+	blocker := runnerFunc(func(q Cycles) (Cycles, Disposition) {
+		return 100, Blocked
+	})
+	th = s.Spawn("blocker", blocker, nil)
+	th.OnCoreChange = func(prev, next int) { cores[next] = true }
+	for i := 0; i < 50; i++ {
+		at := Cycles((i + 1) * 10_000)
+		k.At(at, func() { s.Wake(th) })
+	}
+	k.At(600_000, func() { /* end marker */ })
+	k.Run(600_000)
+	if len(cores) != 1 {
+		t.Fatalf("idle blocking thread migrated across %d cores; wake placement is not sticky", len(cores))
+	}
+}
+
+// A CPU hog and a light sleeper on one core: the sleeper's wakeups are not
+// starved indefinitely (vruntime clamping on wake).
+func TestSchedulerSleeperNotStarved(t *testing.T) {
+	k := NewKernel()
+	cfg := DefaultSchedulerConfig()
+	s := NewScheduler(k, 1, 1, cfg)
+	s.Spawn("hog", &workRunner{remaining: 100 * cfg.Quantum}, nil)
+
+	ran := 0
+	var sleeper *Thread
+	sleeper = s.Spawn("sleeper", runnerFunc(func(q Cycles) (Cycles, Disposition) {
+		ran++
+		return 1000, Blocked
+	}), nil)
+	var wake func()
+	wakes := 0
+	wake = func() {
+		wakes++
+		s.Wake(sleeper)
+		if wakes < 20 {
+			k.After(2*cfg.Quantum, wake)
+		}
+	}
+	k.After(cfg.Quantum, wake)
+	k.Run(0)
+	if ran < 15 {
+		t.Fatalf("sleeper ran only %d of ~21 wakeups alongside a CPU hog", ran)
+	}
+}
+
+// Affinity subsets spread load across exactly the allowed cores.
+func TestSchedulerAffinitySpread(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k, 8, 8, DefaultSchedulerConfig())
+	allowed := []int{2, 5}
+	for i := 0; i < 4; i++ {
+		s.Spawn("w", &workRunner{remaining: 500_000}, allowed)
+	}
+	k.Run(0)
+	for _, c := range s.Cores() {
+		busy := c.BusyCycles() > 0
+		shouldBe := c.ID == 2 || c.ID == 5
+		if busy != shouldBe {
+			t.Fatalf("core %d busy=%v, affinity %v", c.ID, busy, allowed)
+		}
+	}
+	if s.Cores()[2].BusyCycles() != s.Cores()[5].BusyCycles() {
+		t.Fatalf("allowed cores imbalanced: %d vs %d",
+			s.Cores()[2].BusyCycles(), s.Cores()[5].BusyCycles())
+	}
+}

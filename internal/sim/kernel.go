@@ -1,0 +1,114 @@
+// Package sim provides a deterministic discrete-event simulation kernel
+// used to model a multi-socket multi-core machine.
+//
+// Time is measured in CPU cycles (Cycles). The kernel maintains a global
+// event heap; events fire in (time, insertion-order) order, so a run with a
+// fixed seed is fully reproducible. On top of the kernel, Scheduler models
+// an operating-system thread scheduler: simulated threads are placed on
+// simulated cores, run for bounded quanta, and block on or are woken by
+// simulated resources (see package engine's queues).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycles is a duration or instant in simulated CPU cycles.
+type Cycles int64
+
+// Seconds converts a cycle count to seconds at the given clock rate.
+func (c Cycles) Seconds(clockHz int64) float64 {
+	return float64(c) / float64(clockHz)
+}
+
+// Millis converts a cycle count to milliseconds at the given clock rate.
+func (c Cycles) Millis(clockHz int64) float64 {
+	return c.Seconds(clockHz) * 1e3
+}
+
+type event struct {
+	at  Cycles
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)    { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any      { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event    { return h[0] }
+func (h eventHeap) empty() bool    { return len(h) == 0 }
+func (h eventHeap) String() string { return fmt.Sprintf("eventHeap(len=%d)", len(h)) }
+
+// Kernel is a discrete-event simulation core. It is not safe for concurrent
+// use; a simulation runs on a single goroutine.
+type Kernel struct {
+	now  Cycles
+	heap eventHeap
+	seq  uint64
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Cycles { return k.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently reorder causality.
+func (k *Kernel) At(t Cycles, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.heap, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (k *Kernel) After(d Cycles, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	k.At(k.now+d, fn)
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.heap) }
+
+// Step fires the earliest event, advancing the clock to its timestamp.
+// It returns false when no events remain.
+func (k *Kernel) Step() bool {
+	if k.heap.empty() {
+		return false
+	}
+	e := heap.Pop(&k.heap).(event)
+	k.now = e.at
+	e.fn()
+	return true
+}
+
+// Run fires events until the heap drains or the clock would pass limit
+// (limit <= 0 means no limit). It returns the number of events fired.
+func (k *Kernel) Run(limit Cycles) int {
+	n := 0
+	for !k.heap.empty() {
+		if limit > 0 && k.heap.peek().at > limit {
+			k.now = limit
+			return n
+		}
+		k.Step()
+		n++
+	}
+	return n
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelFiresInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []Cycles
+	times := []Cycles{50, 10, 30, 10, 90, 0}
+	for _, at := range times {
+		at := at
+		k.At(at, func() { got = append(got, at) })
+	}
+	k.Run(0)
+	want := append([]Cycles(nil), times...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKernelTieBreakIsInsertionOrder(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(42, func() { got = append(got, i) })
+	}
+	k.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie at index %d resolved to %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestKernelClockAdvancesMonotonically(t *testing.T) {
+	k := NewKernel()
+	rng := rand.New(rand.NewSource(7))
+	// Events schedule further events; the observed clock must never go back.
+	last := Cycles(-1)
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if k.Now() < last {
+			t.Fatalf("clock went backwards: %d after %d", k.Now(), last)
+		}
+		last = k.Now()
+		if depth == 0 {
+			return
+		}
+		for i := 0; i < 3; i++ {
+			d := Cycles(rng.Intn(100))
+			k.After(d, func() { spawn(depth - 1) })
+		}
+	}
+	k.At(0, func() { spawn(4) })
+	k.Run(0)
+}
+
+func TestKernelRunLimit(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		k.At(Cycles(i*100), func() { fired++ })
+	}
+	n := k.Run(550)
+	if n != 5 || fired != 5 {
+		t.Fatalf("Run(550) fired %d (counter %d), want 5", n, fired)
+	}
+	if k.Now() != 550 {
+		t.Fatalf("clock = %d after bounded run, want 550", k.Now())
+	}
+	n = k.Run(0)
+	if n != 5 || fired != 10 {
+		t.Fatalf("second Run fired %d (counter %d), want 5 more", n, fired)
+	}
+}
+
+func TestKernelPanicsOnPastEvent(t *testing.T) {
+	k := NewKernel()
+	k.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(50, func() {})
+	})
+	k.Run(0)
+}
+
+func TestKernelPropertyAllEventsFireSorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		k := NewKernel()
+		var fired []Cycles
+		for _, r := range raw {
+			at := Cycles(r)
+			k.At(at, func() { fired = append(fired, at) })
+		}
+		k.Run(0)
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclesConversions(t *testing.T) {
+	c := Cycles(2_400_000_000)
+	if s := c.Seconds(2_400_000_000); s != 1.0 {
+		t.Fatalf("Seconds = %v, want 1.0", s)
+	}
+	if ms := Cycles(2_400_000).Millis(2_400_000_000); ms != 1.0 {
+		t.Fatalf("Millis = %v, want 1.0", ms)
+	}
+}

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"testing"
+)
+
+// workRunner consumes a fixed budget of cycles, quantum by quantum.
+type workRunner struct {
+	remaining Cycles
+	steps     int
+}
+
+func (w *workRunner) Step(quantum Cycles) (Cycles, Disposition) {
+	w.steps++
+	if w.remaining <= quantum {
+		c := w.remaining
+		w.remaining = 0
+		return c, Done
+	}
+	w.remaining -= quantum
+	return quantum, Yield
+}
+
+// blockingRunner blocks after each unit of work until woken.
+type blockingRunner struct {
+	sched    *Scheduler
+	units    int
+	unitCost Cycles
+	done     func()
+}
+
+func (b *blockingRunner) Step(quantum Cycles) (Cycles, Disposition) {
+	if b.units == 0 {
+		if b.done != nil {
+			b.done()
+		}
+		return 0, Done
+	}
+	b.units--
+	return b.unitCost, Blocked
+}
+
+func cfg(q, sw Cycles) SchedulerConfig { return SchedulerConfig{Quantum: q, SwitchCost: sw} }
+
+func TestSchedulerRunsSingleThreadToCompletion(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k, 1, 1, cfg(100, 0))
+	w := &workRunner{remaining: 1050}
+	s.Spawn("w", w, nil)
+	k.Run(0)
+	if w.remaining != 0 {
+		t.Fatalf("thread left %d cycles unconsumed", w.remaining)
+	}
+	if w.steps != 11 { // 10 full quanta + 1 partial
+		t.Fatalf("steps = %d, want 11", w.steps)
+	}
+	if s.Live() != 0 {
+		t.Fatalf("live = %d, want 0", s.Live())
+	}
+	if got := s.cores[0].BusyCycles(); got != 1050 {
+		t.Fatalf("busy cycles = %d, want 1050", got)
+	}
+}
+
+func TestSchedulerTimeSharesFairly(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k, 1, 1, cfg(100, 0))
+	a := &workRunner{remaining: 1000}
+	b := &workRunner{remaining: 1000}
+	ta := s.Spawn("a", a, nil)
+	tb := s.Spawn("b", b, nil)
+	k.Run(0)
+	if a.remaining != 0 || b.remaining != 0 {
+		t.Fatalf("unfinished work: a=%d b=%d", a.remaining, b.remaining)
+	}
+	if ta.Vruntime() != 1000 || tb.Vruntime() != 1000 {
+		t.Fatalf("vruntime a=%d b=%d, want 1000 each", ta.Vruntime(), tb.Vruntime())
+	}
+	// Serialized on one core: total elapsed equals total work.
+	if k.Now() != 2000 {
+		t.Fatalf("elapsed = %d, want 2000", k.Now())
+	}
+}
+
+func TestSchedulerParallelCores(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k, 2, 1, cfg(100, 0))
+	a := &workRunner{remaining: 1000}
+	b := &workRunner{remaining: 1000}
+	s.Spawn("a", a, nil)
+	s.Spawn("b", b, nil)
+	k.Run(0)
+	// Two cores: threads land on different cores and finish concurrently.
+	if k.Now() != 1000 {
+		t.Fatalf("elapsed = %d, want 1000 (parallel execution)", k.Now())
+	}
+}
+
+func TestSchedulerAffinityRestrictsPlacement(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k, 4, 2, cfg(100, 0))
+	a := &workRunner{remaining: 500}
+	b := &workRunner{remaining: 500}
+	s.Spawn("a", a, []int{3})
+	s.Spawn("b", b, []int{3})
+	k.Run(0)
+	if got := s.cores[3].BusyCycles(); got != 1000 {
+		t.Fatalf("core 3 busy = %d, want 1000", got)
+	}
+	for i := 0; i < 3; i++ {
+		if s.cores[i].BusyCycles() != 0 {
+			t.Fatalf("core %d busy = %d, want 0", i, s.cores[i].BusyCycles())
+		}
+	}
+	// Serialized on the single allowed core.
+	if k.Now() != 1000 {
+		t.Fatalf("elapsed = %d, want 1000", k.Now())
+	}
+}
+
+func TestSchedulerContextSwitchCost(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k, 1, 1, cfg(100, 10))
+	a := &workRunner{remaining: 200}
+	b := &workRunner{remaining: 200}
+	s.Spawn("a", a, nil)
+	s.Spawn("b", b, nil)
+	k.Run(0)
+	// Alternating a,b,a,b: 3 switches (first dispatch is free), each 10.
+	if got := s.cores[0].Switches(); got != 3 {
+		t.Fatalf("switches = %d, want 3", got)
+	}
+	if k.Now() != 430 {
+		t.Fatalf("elapsed = %d, want 430 (400 work + 3*10 switch)", k.Now())
+	}
+}
+
+func TestSchedulerBlockAndWake(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k, 1, 1, cfg(1000, 0))
+	finished := false
+	b := &blockingRunner{sched: s, units: 3, unitCost: 50, done: func() { finished = true }}
+	th := s.Spawn("b", b, nil)
+	// Periodic waker.
+	var wake func()
+	wake = func() {
+		s.Wake(th)
+		if s.Live() > 0 {
+			k.After(200, wake)
+		}
+	}
+	k.After(200, wake)
+	k.Run(0)
+	if !finished {
+		t.Fatal("blocking thread never finished")
+	}
+	if th.Vruntime() != 150 {
+		t.Fatalf("vruntime = %d, want 150", th.Vruntime())
+	}
+}
+
+func TestSchedulerWakeDuringStepIsDeferred(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k, 2, 2, cfg(100, 0))
+	consumer := &blockingRunner{units: 1, unitCost: 10}
+	tc := s.Spawn("consumer", consumer, nil)
+	// Drain the first spurious dispatch: the consumer blocks immediately.
+	k.Run(0)
+
+	woke := false
+	producer := runnerFunc(func(q Cycles) (Cycles, Disposition) {
+		s.Wake(tc) // mid-step wake must be deferred, not dispatched reentrantly
+		woke = true
+		return 25, Done
+	})
+	s.Spawn("producer", producer, nil)
+	k.Run(0)
+	if !woke {
+		t.Fatal("producer never ran")
+	}
+	if s.Live() != 0 {
+		t.Fatalf("live = %d, want 0 (consumer should have been woken and finished)", s.Live())
+	}
+}
+
+type runnerFunc func(Cycles) (Cycles, Disposition)
+
+func (f runnerFunc) Step(q Cycles) (Cycles, Disposition) { return f(q) }
+
+func TestSchedulerWakeNonBlockedIsNoop(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k, 1, 1, cfg(100, 0))
+	w := &workRunner{remaining: 100}
+	th := s.Spawn("w", w, nil)
+	s.Wake(th) // runnable, not blocked: must not double-enqueue
+	k.Run(0)
+	if th.Vruntime() != 100 {
+		t.Fatalf("vruntime = %d, want 100", th.Vruntime())
+	}
+}
+
+func TestSchedulerUtilization(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k, 2, 1, cfg(100, 0))
+	s.Spawn("a", &workRunner{remaining: 500}, []int{0})
+	k.Run(0)
+	if got := s.Utilization([]int{0}); got != 1.0 {
+		t.Fatalf("core 0 utilization = %v, want 1.0", got)
+	}
+	if got := s.Utilization(nil); got != 0.5 {
+		t.Fatalf("overall utilization = %v, want 0.5", got)
+	}
+}
+
+func TestSchedulerOnCoreChangeFires(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k, 2, 1, cfg(100, 0))
+	var changes [][2]int
+	w := &workRunner{remaining: 300}
+	th := s.Spawn("w", w, nil)
+	th.OnCoreChange = func(prev, next int) { changes = append(changes, [2]int{prev, next}) }
+	k.Run(0)
+	if len(changes) == 0 {
+		t.Fatal("OnCoreChange never fired")
+	}
+	if changes[0][0] != -1 {
+		t.Fatalf("first change prev = %d, want -1", changes[0][0])
+	}
+}
+
+func TestCoresOnSockets(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k, 8, 4, DefaultSchedulerConfig())
+	got := s.CoresOnSockets([]int{1})
+	want := []int{4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
