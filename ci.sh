@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# CI gate: build, vet, and the full test suite under the race detector.
+# The race detector is load-bearing here — the bench harness fans
+# simulation cells across goroutines (bench.RunCells), and the determinism
+# test exercises that pool at jobs=4.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+go build ./...
+go vet ./...
+# -timeout raised above the go test default (10m): the race detector's
+# ~10x slowdown pushes internal/bench past 10 minutes on small hosts.
+go test -race -timeout 45m ./...

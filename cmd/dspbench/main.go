@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"streamscale/internal/apps"
 	"streamscale/internal/bench"
@@ -33,8 +34,10 @@ func main() {
 		place   = flag.Bool("place", false, "apply NUMA-aware executor placement (best plan by Eq. 1 cost)")
 		profile = flag.Bool("profile", true, "print the Table II processor-time breakdown")
 		native  = flag.Bool("native", false, "run on the native goroutine runtime (real wall-clock, no processor model)")
+		jobs    = flag.Int("jobs", runtime.NumCPU(), "parallel simulation cells for multi-run steps like -place")
 	)
 	flag.Parse()
+	bench.SetJobs(*jobs)
 
 	if *native {
 		runNative(*app, *system, *batch, *events, *scale, *seed)
@@ -71,8 +74,8 @@ func main() {
 	fail(err)
 
 	fmt.Printf("%s on %s: %d sockets, batch S=%d\n", *app, *system, *sockets, *batch)
-	fmt.Printf("  throughput   %10.1f k events/s  (%d events in %.3f s simulated)\n",
-		res.Throughput().KPerSecond(), res.SourceEvents, res.ElapsedSeconds)
+	fmt.Printf("  throughput   %10.1f k events/s  (%d events in %.3f s simulated, computed in %.2f s host)\n",
+		res.Throughput().KPerSecond(), res.SourceEvents, res.ElapsedSeconds, res.WallSeconds)
 	fmt.Printf("  latency      p50 %.2f ms   p99 %.2f ms   mean %.2f ms\n",
 		res.Latency.Quantile(0.5), res.Latency.Quantile(0.99), res.Latency.Mean())
 	fmt.Printf("  utilization  cpu %.0f%%   memory bandwidth %.0f%%\n", res.CPUUtil*100, res.MemUtil*100)

@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"time"
 
 	"streamscale/internal/apps"
 	"streamscale/internal/bench"
@@ -246,8 +248,10 @@ func main() {
 		pick   = flag.String("experiment", "", "experiment ID to run (default: all)")
 		list   = flag.Bool("list", false, "list experiment IDs")
 		csvDir = flag.String("csv", "", "also write plot-ready CSV files into this directory")
+		jobs   = flag.Int("jobs", runtime.NumCPU(), "parallel simulation cells per sweep (results are identical at any value)")
 	)
 	flag.Parse()
+	bench.SetJobs(*jobs)
 
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir); err != nil {
@@ -270,6 +274,7 @@ func main() {
 		}
 		return
 	}
+	start := time.Now()
 	ran := 0
 	for _, e := range exps {
 		if *pick != "" && e.id != *pick {
@@ -287,4 +292,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dspreport: unknown experiment %q (try -list)\n", *pick)
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "dspreport: %d experiment(s) in %.1fs (jobs=%d)\n", ran, time.Since(start).Seconds(), bench.Jobs())
 }

@@ -23,23 +23,20 @@ type CellResult struct {
 }
 
 // Sweep runs one cell per (app x system) with a common configuration
-// mutation and returns results in deterministic order.
+// mutation and returns results in deterministic order. Cells execute on
+// the package worker pool (see RunCells / SetJobs).
 func Sweep(appNames []string, mutate func(*Cell)) ([]CellResult, error) {
-	var out []CellResult
+	var cells []Cell
 	for _, app := range appNames {
 		for _, sys := range Systems {
 			c := Cell{App: app, System: sys, Sockets: 1}
 			if mutate != nil {
 				mutate(&c)
 			}
-			res, err := Run(c)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", app, sys, err)
-			}
-			out = append(out, CellResult{Cell: c, Res: res})
+			cells = append(cells, c)
 		}
 	}
-	return out, nil
+	return runCells(cells)
 }
 
 func (cr CellResult) key() string { return cr.Cell.App + "/" + cr.Cell.System }
@@ -174,9 +171,9 @@ func ScalabilityFor(system string, appNames []string, points []int) (*Scalabilit
 		Points:     points,
 		Normalized: map[string][]float64{},
 	}
+	var cells []Cell
 	for _, app := range appNames {
-		var base float64
-		for i, cores := range points {
+		for _, cores := range points {
 			scale := 1.0
 			if cores <= 2 {
 				scale = 0.5 // fewer events keep 1-2 core runs tractable
@@ -187,11 +184,17 @@ func ScalabilityFor(system string, appNames []string, points []int) (*Scalabilit
 			if par < 1 {
 				par = 1
 			}
-			res, err := Run(Cell{App: app, System: system, Cores: cores, EventScale: scale, Scale: par})
-			if err != nil {
-				return nil, fmt.Errorf("%s@%d: %w", app, cores, err)
-			}
-			tp := res.Throughput().PerSecond()
+			cells = append(cells, Cell{App: app, System: system, Cores: cores, EventScale: scale, Scale: par})
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for ai, app := range appNames {
+		var base float64
+		for i := range points {
+			tp := results[ai*len(points)+i].Res.Throughput().PerSecond()
 			if i == 0 {
 				base = tp
 			}
@@ -243,12 +246,17 @@ type FootprintResult struct {
 // "null" application, single socket.
 func FootprintCDF(system string) ([]FootprintResult, error) {
 	names := append(append([]string{}, apps.BenchmarkNames()...), "null")
+	cells := make([]Cell, len(names))
+	for i, app := range names {
+		cells[i] = Cell{App: app, System: system, Sockets: 1}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	var out []FootprintResult
-	for _, app := range names {
-		res, err := Run(Cell{App: app, System: system, Sockets: 1})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app, err)
-		}
+	for i, app := range names {
+		res := results[i].Res
 		pts := res.Profile.FootprintCDF(profiler.DefaultCDFThresholds())
 		out = append(out, FootprintResult{
 			App: app, System: system, Points: pts,
@@ -307,13 +315,18 @@ type TableVRow struct {
 // TableV runs the four-socket LLC study for one system (the paper reports
 // Storm; we support both).
 func TableV(system string) ([]TableVRow, error) {
+	names := apps.BenchmarkNames()
+	cells := make([]Cell, len(names))
+	for i, app := range names {
+		cells[i] = Cell{App: app, System: system, Sockets: 4, Scale: 4}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	var out []TableVRow
-	for _, app := range apps.BenchmarkNames() {
-		res, err := Run(Cell{App: app, System: system, Sockets: 4, Scale: 4})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app, err)
-		}
-		lo, re := res.Profile.LLCMissShares()
+	for i, app := range names {
+		lo, re := results[i].Res.Profile.LLCMissShares()
 		out = append(out, TableVRow{App: app, Local: lo, Remote: re})
 	}
 	return out, nil
@@ -346,16 +359,21 @@ var Fig10Executors = []int{32, 40, 48, 56}
 
 // Fig10 sweeps the TM Map-Matcher executor count on four sockets (Storm).
 func Fig10() ([]Fig10Row, error) {
-	var out []Fig10Row
-	for _, n := range Fig10Executors {
-		res, err := Run(Cell{
+	cells := make([]Cell, len(Fig10Executors))
+	for i, n := range Fig10Executors {
+		cells[i] = Cell{
 			App: "tm", System: "storm", Sockets: 4,
 			EventScale:          4,
 			ParallelismOverride: map[string]int{"map-match": n},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("executors=%d: %w", n, err)
 		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig10Row
+	for i, n := range Fig10Executors {
+		res := results[i].Res
 		mean, sd := res.MeanExecLatencyMs("map-match")
 		row := Fig10Row{Executors: n, MeanLatencyMs: mean, StddevMs: sd}
 		if be := res.Profile.Costs.BackEnd(); be > 0 {
@@ -398,16 +416,27 @@ type BatchingRow struct {
 // Batching runs the Fig 12/13 sweep on a single socket.
 func Batching() ([]BatchingRow, error) {
 	sizes := append([]int{1}, core.BatchSizes...)
+	var cells []Cell
+	for _, app := range apps.BenchmarkNames() {
+		for _, sys := range Systems {
+			for _, s := range sizes {
+				cells = append(cells, Cell{App: app, System: sys, Sockets: 1, BatchSize: s})
+			}
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	var out []BatchingRow
+	i := 0
 	for _, app := range apps.BenchmarkNames() {
 		for _, sys := range Systems {
 			row := BatchingRow{App: app, System: sys, Sizes: sizes}
 			var baseTp, baseLat float64
 			for _, s := range sizes {
-				res, err := Run(Cell{App: app, System: sys, Sockets: 1, BatchSize: s})
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s S=%d: %w", app, sys, s, err)
-				}
+				res := results[i].Res
+				i++
 				tp := res.Throughput().PerSecond()
 				lat := res.Latency.Mean()
 				if s == 1 {
@@ -508,17 +537,24 @@ func bestPlacement(app, system string, batch, scale int) (map[int]int, int, floa
 	if len(plans) == 0 {
 		return nil, 0, 0, fmt.Errorf("no feasible placement plans")
 	}
-	bestTp := -1.0
-	var bestPlan *core.Plan
-	for _, p := range plans {
-		res, err := Run(Cell{
+	// Evaluate all candidate plans concurrently; selection scans in plan
+	// order with a strict improvement test, so the winner (first maximum)
+	// matches the sequential loop exactly.
+	cells := make([]Cell, len(plans))
+	for i, p := range plans {
+		cells[i] = Cell{
 			App: app, System: system, Sockets: 4, Scale: scale,
 			BatchSize: batch, Placement: p.Placement(),
-		})
-		if err != nil {
-			return nil, 0, 0, err
 		}
-		if tp := res.Throughput().PerSecond(); tp > bestTp {
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	bestTp := -1.0
+	var bestPlan *core.Plan
+	for i, p := range plans {
+		if tp := results[i].Res.Throughput().PerSecond(); tp > bestTp {
 			bestTp = tp
 			bestPlan = p
 		}
@@ -530,17 +566,27 @@ func bestPlacement(app, system string, batch, scale int) (map[int]int, int, floa
 // sockets unoptimized, four sockets with NUMA-aware placement, and four
 // sockets with placement plus batching (S = core.DefaultBatchSize).
 func Placement() ([]PlacementRow, error) {
-	var out []PlacementRow
+	// The unplaced baselines for every (app, system) are independent:
+	// batch them through the pool, then derive each row's placement plans
+	// (bestPlacement fans its candidate evaluations out internally).
+	var cells []Cell
 	for _, app := range apps.BenchmarkNames() {
 		for _, sys := range Systems {
-			one, err := Run(Cell{App: app, System: sys, Sockets: 1})
-			if err != nil {
-				return nil, err
-			}
-			four, err := Run(Cell{App: app, System: sys, Sockets: 4, Scale: 4})
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells,
+				Cell{App: app, System: sys, Sockets: 1},
+				Cell{App: app, System: sys, Sockets: 4, Scale: 4})
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var out []PlacementRow
+	i := 0
+	for _, app := range apps.BenchmarkNames() {
+		for _, sys := range Systems {
+			one, four := results[i].Res, results[i+1].Res
+			i += 2
 			_, k, placedTp, err := bestPlacement(app, sys, 1, 4)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s placement: %w", app, sys, err)
@@ -608,21 +654,28 @@ type GCRow struct {
 
 // GCStudy measures mutator-visible GC share under G1 and parallelGC.
 func GCStudy(appNames []string) ([]GCRow, error) {
-	var out []GCRow
+	g1cfg := jvm.G1()
+	g1cfg.YoungBytes = 2 << 20
+	pcfg := jvm.Parallel()
+	pcfg.YoungBytes = 2 << 20
+	var cells []Cell
 	for _, app := range appNames {
 		for _, sys := range Systems {
-			g1cfg := jvm.G1()
-			g1cfg.YoungBytes = 2 << 20
-			g1, err := Run(Cell{App: app, System: sys, Sockets: 1, GC: g1cfg})
-			if err != nil {
-				return nil, err
-			}
-			pcfg := jvm.Parallel()
-			pcfg.YoungBytes = 2 << 20
-			par, err := Run(Cell{App: app, System: sys, Sockets: 1, GC: pcfg})
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells,
+				Cell{App: app, System: sys, Sockets: 1, GC: g1cfg},
+				Cell{App: app, System: sys, Sockets: 1, GC: pcfg})
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var out []GCRow
+	i := 0
+	for _, app := range appNames {
+		for _, sys := range Systems {
+			g1, par := results[i].Res, results[i+1].Res
+			i += 2
 			out = append(out, GCRow{
 				App: app, System: sys,
 				G1Share: g1.GCShare, ParShare: par.GCShare,
@@ -664,16 +717,23 @@ func HugePages(appNames []string) ([]HugePagesRow, error) {
 		}
 		return (float64(r.Profile.Costs[hw.FeITLB]) + float64(r.Profile.Costs[hw.BeDTLB])) / t
 	}
+	var cells []Cell
 	for _, app := range appNames {
 		for _, sys := range Systems {
-			small, err := Run(Cell{App: app, System: sys, Sockets: 1})
-			if err != nil {
-				return nil, err
-			}
-			big, err := Run(Cell{App: app, System: sys, Sockets: 1, HugePages: true})
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells,
+				Cell{App: app, System: sys, Sockets: 1},
+				Cell{App: app, System: sys, Sockets: 1, HugePages: true})
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, app := range appNames {
+		for _, sys := range Systems {
+			small, big := results[i].Res, results[i+1].Res
+			i += 2
 			out = append(out, HugePagesRow{
 				App: app, System: sys,
 				TLB4K:   tlbShare(small),
@@ -710,13 +770,11 @@ type PlacementAblationRow struct {
 // PlacementAblation compares the min-k-cut placement against round-robin
 // and unplaced baselines.
 func PlacementAblation(appNames []string) ([]PlacementAblationRow, error) {
-	var out []PlacementAblationRow
+	// Plan construction is cheap and stays sequential; the baseline and
+	// round-robin runs for every (app, system) batch through the pool.
+	var cells []Cell
 	for _, app := range appNames {
 		for _, sys := range Systems {
-			base, err := Run(Cell{App: app, System: sys, Sockets: 4, Scale: 4})
-			if err != nil {
-				return nil, err
-			}
 			topo, err := apps.Build(app, apps.Config{Events: Cell{App: app}.Events(), Seed: 1, Scale: 4})
 			if err != nil {
 				return nil, err
@@ -727,10 +785,21 @@ func PlacementAblation(appNames []string) ([]PlacementAblationRow, error) {
 				return nil, err
 			}
 			rr := core.RoundRobinPlan(g, 4)
-			rrRes, err := Run(Cell{App: app, System: sys, Sockets: 4, Scale: 4, Placement: rr.Placement()})
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells,
+				Cell{App: app, System: sys, Sockets: 4, Scale: 4},
+				Cell{App: app, System: sys, Sockets: 4, Scale: 4, Placement: rr.Placement()})
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var out []PlacementAblationRow
+	i := 0
+	for _, app := range appNames {
+		for _, sys := range Systems {
+			base, rrRes := results[i].Res, results[i+1].Res
+			i += 2
 			_, _, bestTp, err := bestPlacement(app, sys, 1, 4)
 			if err != nil {
 				return nil, err
@@ -780,17 +849,24 @@ type UopCacheRow struct {
 
 // UopCacheAblation quantifies what the D-ICache buys the studied designs.
 func UopCacheAblation(appNames []string) ([]UopCacheRow, error) {
-	var out []UopCacheRow
+	var cells []Cell
 	for _, app := range appNames {
 		for _, sys := range Systems {
-			with, err := Run(Cell{App: app, System: sys, Sockets: 1})
-			if err != nil {
-				return nil, err
-			}
-			without, err := Run(Cell{App: app, System: sys, Sockets: 1, NoUopCache: true})
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells,
+				Cell{App: app, System: sys, Sockets: 1},
+				Cell{App: app, System: sys, Sockets: 1, NoUopCache: true})
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var out []UopCacheRow
+	i := 0
+	for _, app := range appNames {
+		for _, sys := range Systems {
+			with, without := results[i].Res, results[i+1].Res
+			i += 2
 			out = append(out, UopCacheRow{
 				App: app, System: sys,
 				Slowdown:       without.Throughput().PerSecond() / with.Throughput().PerSecond(),
@@ -888,17 +964,24 @@ type ChainingRow struct {
 // ChainingAblation measures what task fusion buys on apps with chainable
 // (shuffle, equal-parallelism) hops. Only SD qualifies in the benchmark.
 func ChainingAblation(appNames []string) ([]ChainingRow, error) {
-	var out []ChainingRow
+	var cells []Cell
 	for _, app := range appNames {
 		for _, sys := range Systems {
-			plain, err := Run(Cell{App: app, System: sys, Sockets: 1})
-			if err != nil {
-				return nil, err
-			}
-			chained, err := Run(Cell{App: app, System: sys, Sockets: 1, Chaining: true})
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells,
+				Cell{App: app, System: sys, Sockets: 1},
+				Cell{App: app, System: sys, Sockets: 1, Chaining: true})
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var out []ChainingRow
+	i := 0
+	for _, app := range appNames {
+		for _, sys := range Systems {
+			plain, chained := results[i].Res, results[i+1].Res
+			i += 2
 			out = append(out, ChainingRow{
 				App: app, System: sys,
 				Gain: chained.Throughput().PerSecond() / plain.Throughput().PerSecond(),

@@ -72,14 +72,20 @@ func systemProfile(name string) (engine.SystemProfile, error) {
 	return engine.SystemProfile{}, fmt.Errorf("bench: unknown system %q", name)
 }
 
-// Events returns the cell's event count.
+// Events returns the cell's event count: the app default scaled by
+// EventScale (0 means unscaled), clamped to at least one event so that a
+// tiny or negative scale can never feed a non-positive count into
+// apps.Build.
 func (c Cell) Events() int {
 	ev := defaultEvents[c.App]
 	if ev == 0 {
 		ev = 5000
 	}
-	if c.EventScale > 0 {
+	if c.EventScale != 0 {
 		ev = int(float64(ev) * c.EventScale)
+	}
+	if ev < 1 {
+		ev = 1
 	}
 	return ev
 }

@@ -31,6 +31,10 @@ type Result struct {
 	SinkEvents int64
 	// ElapsedSeconds is wall (native) or simulated (sim) run duration.
 	ElapsedSeconds float64
+	// WallSeconds is the host wall-clock time the run took to compute.
+	// Unlike everything else in Result it is not deterministic; it exists
+	// so the harness can report how fast the simulator itself is.
+	WallSeconds float64
 
 	// Latency is the end-to-end tuple latency distribution in ms.
 	Latency *metrics.Histogram

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"streamscale/internal/hw"
 	"streamscale/internal/jvm"
@@ -161,6 +162,7 @@ type simRuntime struct {
 // RunSim executes the topology on the simulated machine and returns both
 // performance results and the full processor-time profile.
 func RunSim(t *Topology, cfg SimConfig) (*Result, error) {
+	start := time.Now()
 	cfg.fill()
 	xt, err := BuildExecTopology(t, cfg.System)
 	if err != nil {
@@ -170,7 +172,12 @@ func RunSim(t *Topology, cfg SimConfig) (*Result, error) {
 	if err := rt.build(); err != nil {
 		return nil, err
 	}
-	return rt.run(t.Name)
+	res, err := rt.run(t.Name)
+	if err != nil {
+		return nil, err
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
 }
 
 func (rt *simRuntime) newRegion(name string, bytes int) *codeRegion {

@@ -4,10 +4,35 @@ package hw
 // numbers (the caller chooses the granularity: 64 B lines for data, 256 B
 // blocks for instructions, 4 KB pages for TLBs). The zero value is not
 // usable; construct with NewCache.
+//
+// The model is the simulator's hottest code: every simulated memory access
+// probes up to four levels. Two layout decisions keep probes cheap while
+// leaving hit/miss/eviction decisions — and therefore simulation results —
+// bit-identical to the straightforward array-of-structs scan:
+//
+//   - Ways are stored structure-of-arrays (tags, LRU ticks, and coherence
+//     versions in separate flat set-major arrays), so the combined
+//     tag-match + LRU-victim scan touches 16 bytes per way instead of 24.
+//   - Each set keeps an MRU way hint (the way of its most recent hit).
+//     AccessV/WriteAccessV probe it first and are small enough to inline
+//     into their callers, so a hint hit — the common case for the looping
+//     code fetches the simulator issues — costs a handful of instructions
+//     and no function call; only hint misses pay for the outlined scan.
 type Cache struct {
-	sets    [][]way
+	// blocks holds each way's tag, or noBlock when the way is invalid.
+	// used holds the LRU tick (0 = never used); ver the coherence version.
+	blocks []uint64
+	used   []uint64
+	vers   []uint32
+	// hint holds, per set, the absolute blocks/used/vers index of the
+	// set's most recent hit (initially the set's way 0). A hint may go
+	// stale (Invalidate, eviction); probes verify the tag, so stale
+	// hints cost a fallthrough, never a wrong answer.
+	hint    []int32
 	setMask uint64
 	assoc   int
+
+	blockBytes int // granularity CacheFor was sized with (0 if NewCache)
 
 	hits      uint64
 	misses    uint64
@@ -20,11 +45,9 @@ type Cache struct {
 	tick uint64 // logical LRU clock
 }
 
-type way struct {
-	block uint64
-	used  uint64 // last-use tick; 0 = invalid
-	ver   uint32 // coherence version the copy was filled at
-}
+// noBlock marks an invalid way. Real keys never reach it: data/code tags
+// are addresses divided by the block size (< 2^49), pages < 2^36.
+const noBlock = ^uint64(0)
 
 // NewCache builds a cache with the given number of sets and associativity.
 // Sets must be a power of two.
@@ -35,16 +58,30 @@ func NewCache(sets, assoc int) *Cache {
 	if assoc <= 0 {
 		panic("hw: cache associativity must be positive")
 	}
-	c := &Cache{setMask: uint64(sets - 1), assoc: assoc}
-	c.sets = make([][]way, sets)
-	for i := range c.sets {
-		c.sets[i] = make([]way, assoc)
+	c := &Cache{
+		setMask: uint64(sets - 1),
+		assoc:   assoc,
+		blocks:  make([]uint64, sets*assoc),
+		used:    make([]uint64, sets*assoc),
+		vers:    make([]uint32, sets*assoc),
+		hint:    make([]int32, sets),
+	}
+	for i := range c.blocks {
+		c.blocks[i] = noBlock
+	}
+	for i := range c.hint {
+		c.hint[i] = int32(i * assoc)
 	}
 	return c
 }
 
 // CacheFor builds a cache sized capacityBytes with blockBytes blocks and the
-// given associativity.
+// given associativity. Because the set count must be a power of two, the
+// requested capacity is rounded DOWN to the nearest power-of-two set count:
+// a capacity whose set count is not a power of two can shed up to half the
+// requested bytes (e.g. a 24 MB, 20-way, 64 B-line request yields 16384
+// sets and only 20 MB effective). Check EffectiveBytes when sizing caches;
+// every Table III level divides exactly and loses nothing.
 func CacheFor(capacityBytes, blockBytes, assoc int) *Cache {
 	blocks := capacityBytes / blockBytes
 	sets := blocks / assoc
@@ -56,7 +93,23 @@ func CacheFor(capacityBytes, blockBytes, assoc int) *Cache {
 	for p*2 <= sets {
 		p *= 2
 	}
-	return NewCache(p, assoc)
+	c := NewCache(p, assoc)
+	c.blockBytes = blockBytes
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.setMask) + 1 }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// EffectiveBytes returns the capacity the cache actually indexes
+// (sets x assoc x block bytes) after CacheFor's power-of-two set rounding.
+// It returns 0 for caches built directly with NewCache, which have no byte
+// granularity (e.g. TLBs keyed by page number).
+func (c *Cache) EffectiveBytes() int {
+	return c.Sets() * c.assoc * c.blockBytes
 }
 
 // Access looks up a block, inserting it on miss (evicting LRU if needed),
@@ -68,18 +121,31 @@ func (c *Cache) Access(block uint64) bool { return c.AccessV(block, 0) }
 // write or read and is upgraded in place (an M-state rewrite), counting as
 // a hit.
 func (c *Cache) WriteAccessV(block uint64, ver uint32) bool {
-	set := c.sets[block&c.setMask]
-	for i := range set {
-		w := &set[i]
-		if w.used != 0 && w.block == block && (w.ver == ver || w.ver == ver-1) {
+	si := block & c.setMask
+	if h := c.hint[si]; c.blocks[h] == block && (c.vers[h] == ver || c.vers[h] == ver-1) {
+		c.tick++
+		c.vers[h] = ver
+		c.used[h] = c.tick
+		c.hits++
+		return true
+	}
+	return c.writeSlow(block, ver, si)
+}
+
+func (c *Cache) writeSlow(block uint64, ver uint32, si uint64) bool {
+	base := int(si) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.blocks[i] == block && (c.vers[i] == ver || c.vers[i] == ver-1) {
 			c.tick++
-			w.ver = ver
-			w.used = c.tick
+			c.vers[i] = ver
+			c.used[i] = c.tick
 			c.hits++
+			c.hint[si] = int32(i)
 			return true
 		}
 	}
-	return c.AccessV(block, ver)
+	c.tick++
+	return c.accessSlow(block, ver, si)
 }
 
 // AccessV looks up a block requiring coherence version ver: a resident copy
@@ -88,56 +154,120 @@ func (c *Cache) WriteAccessV(block uint64, ver uint32) bool {
 // stand-in for MESI invalidations.
 func (c *Cache) AccessV(block uint64, ver uint32) bool {
 	c.tick++
-	set := c.sets[block&c.setMask]
-	var victim *way
-	for i := range set {
-		w := &set[i]
-		if w.used != 0 && w.block == block {
-			if w.ver == ver {
-				w.used = c.tick
+	si := block & c.setMask
+	// Fast path: the MRU way hint.
+	if h := c.hint[si]; c.blocks[h] == block && c.vers[h] == ver {
+		c.used[h] = c.tick
+		c.hits++
+		return true
+	}
+	return c.accessSlow(block, ver, si)
+}
+
+// accessSlow is the full lookup behind AccessV's hint probe: a single pass
+// that both matches the tag and tracks the LRU victim (first minimum,
+// preserving the original combined scan's strict-< tie-break). The caller
+// has already advanced c.tick.
+func (c *Cache) accessSlow(block uint64, ver uint32, si uint64) bool {
+	base := int(si) * c.assoc
+	bl := c.blocks[base : base+c.assoc]
+	us := c.used[base : base+c.assoc : base+c.assoc]
+	vi := 0
+	min := ^uint64(0)
+	for i, b := range bl {
+		if b == block {
+			if c.vers[base+i] == ver {
+				us[i] = c.tick
 				c.hits++
+				c.hint[si] = int32(base + i)
 				return true
 			}
 			// Stale copy: refill in place at the current version.
 			c.misses++
-			w.ver = ver
-			w.used = c.tick
+			c.vers[base+i] = ver
+			us[i] = c.tick
+			c.hint[si] = int32(base + i)
 			return false
 		}
-		if victim == nil || w.used < victim.used {
-			victim = w
+		if us[i] < min {
+			min = us[i]
+			vi = i
+		}
+	}
+	// Full miss: evict the LRU victim.
+	c.misses++
+	if min != 0 {
+		c.evictions++
+		if c.OnEvict != nil {
+			c.OnEvict(bl[vi])
+		}
+	}
+	bl[vi] = block
+	us[vi] = c.tick
+	c.vers[base+vi] = ver
+	c.hint[si] = int32(base + vi)
+	return false
+}
+
+// Replace forcibly (re)installs a block as most recently used at version
+// ver, counting a miss — observably equivalent to Invalidate(block)
+// followed by AccessV(block, ver), in one set scan instead of two. The
+// machine uses it on an L1I miss, where the decoded-µop entry must be
+// dropped and immediately re-decoded. If the block was resident it is
+// refreshed in place; the pair could land it on a different empty way, but
+// way identity is unobservable (lookups are tag-keyed, LRU compares used
+// ticks, and a refill over an empty or self way never fires OnEvict).
+func (c *Cache) Replace(block uint64, ver uint32) {
+	c.tick++
+	si := block & c.setMask
+	base := int(si) * c.assoc
+	bl := c.blocks[base : base+c.assoc]
+	us := c.used[base : base+c.assoc : base+c.assoc]
+	vi := 0
+	min := ^uint64(0)
+	for i, b := range bl {
+		if b == block {
+			vi, min = i, 0
+			break
+		}
+		if us[i] < min {
+			min = us[i]
+			vi = i
 		}
 	}
 	c.misses++
-	if victim.used != 0 {
+	if min != 0 {
 		c.evictions++
 		if c.OnEvict != nil {
-			c.OnEvict(victim.block)
+			c.OnEvict(bl[vi])
 		}
 	}
-	victim.block = block
-	victim.used = c.tick
-	victim.ver = ver
-	return false
+	bl[vi] = block
+	us[vi] = c.tick
+	c.vers[base+vi] = ver
+	c.hint[si] = int32(base + vi)
 }
 
 // Contains reports whether a block is resident without touching LRU state.
 func (c *Cache) Contains(block uint64) bool {
-	set := c.sets[block&c.setMask]
-	for i := range set {
-		if set[i].used != 0 && set[i].block == block {
+	base := int(block&c.setMask) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.blocks[i] == block {
 			return true
 		}
 	}
 	return false
 }
 
-// Invalidate removes a block if present.
+// Invalidate removes a block if present. The set's way hint may keep
+// pointing at the emptied way; hint probes verify the tag, so a stale
+// hint is harmless.
 func (c *Cache) Invalidate(block uint64) {
-	set := c.sets[block&c.setMask]
-	for i := range set {
-		if set[i].used != 0 && set[i].block == block {
-			set[i].used = 0
+	base := int(block&c.setMask) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.blocks[i] == block {
+			c.blocks[i] = noBlock
+			c.used[i] = 0
 			return
 		}
 	}
@@ -145,10 +275,13 @@ func (c *Cache) Invalidate(block uint64) {
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = way{}
-		}
+	for i := range c.blocks {
+		c.blocks[i] = noBlock
+		c.used[i] = 0
+		c.vers[i] = 0
+	}
+	for i := range c.hint {
+		c.hint[i] = int32(i * c.assoc)
 	}
 	c.hits, c.misses, c.evictions, c.tick = 0, 0, 0, 0
 }

@@ -94,11 +94,47 @@ func TestCacheReset(t *testing.T) {
 func TestCacheForSizes(t *testing.T) {
 	// 32 KB, 64 B lines, 8-way: 512 lines, 64 sets.
 	c := CacheFor(32<<10, 64, 8)
-	if got := len(c.sets); got != 64 {
+	if got := c.Sets(); got != 64 {
 		t.Fatalf("sets = %d, want 64", got)
 	}
-	if c.assoc != 8 {
-		t.Fatalf("assoc = %d, want 8", c.assoc)
+	if c.Assoc() != 8 {
+		t.Fatalf("assoc = %d, want 8", c.Assoc())
+	}
+}
+
+// CacheFor rounds the set count down to a power of two; pin the effective
+// capacity of every Table III cache level (all divide exactly — no bytes
+// are shed) and document a shape that does lose capacity.
+func TestCacheForEffectiveBytes(t *testing.T) {
+	spec := TableIII()
+	for _, tc := range []struct {
+		name string
+		cs   CacheSpec
+	}{
+		{"L1I", spec.L1I},
+		{"L1D", spec.L1D},
+		{"L2", spec.L2},
+		{"LLC", spec.LLC},
+	} {
+		c := CacheFor(tc.cs.CapacityBytes, tc.cs.BlockBytes, tc.cs.Assoc)
+		if got := c.EffectiveBytes(); got != tc.cs.CapacityBytes {
+			t.Errorf("%s: effective = %d bytes, want the requested %d", tc.name, got, tc.cs.CapacityBytes)
+		}
+	}
+
+	// A 24 MB, 20-way, 64 B-line request computes 19660 sets, which rounds
+	// down to 16384: only 20 MB of the requested capacity is indexable.
+	c := CacheFor(24<<20, 64, 20)
+	if got := c.EffectiveBytes(); got != 20<<20 {
+		t.Errorf("24 MB request: effective = %d bytes, want %d (rounding documented in CacheFor)", got, 20<<20)
+	}
+	if got := c.Sets(); got != 16384 {
+		t.Errorf("24 MB request: sets = %d, want 16384", got)
+	}
+
+	// NewCache has no block granularity (TLBs key by page number).
+	if got := NewCache(16, 4).EffectiveBytes(); got != 0 {
+		t.Errorf("NewCache effective bytes = %d, want 0", got)
 	}
 }
 

@@ -21,7 +21,7 @@ type Machine struct {
 	// bumps it, so copies cached elsewhere become stale; see Cache.AccessV)
 	// and the socket of the last writer (so a read miss can be served by a
 	// dirty-copy forward instead of home memory).
-	versions map[uint64]lineState
+	versions *lineVerTable
 }
 
 type lineState struct {
@@ -61,7 +61,7 @@ func NewMachine(spec MachineSpec) *Machine {
 	m := &Machine{
 		Spec:        spec,
 		iBlockBytes: spec.L1I.BlockBytes,
-		versions:    make(map[uint64]lineState),
+		versions:    newLineVerTable(),
 	}
 	for s := 1 << 12; s < spec.PageBytes; s <<= 1 {
 		m.pageShift++
@@ -147,37 +147,61 @@ func (m *Machine) dataAccess(core int, addr uint64, size int, write bool, now si
 	var total sim.Cycles
 	first := addr &^ uint64(LineBytes-1)
 	last := (addr + uint64(size) - 1) &^ uint64(LineBytes-1)
+	// lastPage tracks the page the previous line resolved: consecutive
+	// lines usually share it, and a re-probe of the page just translated
+	// is a guaranteed TLB hit that charges nothing and leaves the TLB's
+	// relative LRU order unchanged, so it is skipped outright.
+	lastPage := ^uint64(0)
 	for line := first; ; line += LineBytes {
 		// Address translation.
 		page := line >> m.pageShift
-		if !c.dtlb.Access(page) {
-			var cost sim.Cycles
-			if c.stlb.Access(page) {
-				cost = spec.Latency.STLBHit
-			} else {
-				cost = spec.Latency.PageWalk
+		if page != lastPage {
+			lastPage = page
+			if !c.dtlb.Access(page) {
+				var cost sim.Cycles
+				if c.stlb.Access(page) {
+					cost = spec.Latency.STLBHit
+				} else {
+					cost = spec.Latency.PageWalk
+				}
+				out.Add(BeDTLB, cost)
+				total += cost
 			}
-			out.Add(BeDTLB, cost)
-			total += cost
 		}
 
 		key := line / LineBytes
-		st := m.versions[key]
+		st := m.versions.get(key)
 		written := st.ver != 0
-		probe := func(ch *Cache) bool { return ch.AccessV(key, st.ver) }
 		if write {
 			st.ver++
 			st.writer = int8(mySock)
-			m.versions[key] = st
-			probe = func(ch *Cache) bool { return ch.WriteAccessV(key, st.ver) }
+			m.versions.put(key, st)
+		}
+		var l1Hit, l2Hit, llcHit bool
+		if write {
+			l1Hit = c.l1d.WriteAccessV(key, st.ver)
+			if !l1Hit {
+				l2Hit = c.l2.WriteAccessV(key, st.ver)
+				if !l2Hit {
+					llcHit = m.sockets[mySock].llc.WriteAccessV(key, st.ver)
+				}
+			}
+		} else {
+			l1Hit = c.l1d.AccessV(key, st.ver)
+			if !l1Hit {
+				l2Hit = c.l2.AccessV(key, st.ver)
+				if !l2Hit {
+					llcHit = m.sockets[mySock].llc.AccessV(key, st.ver)
+				}
+			}
 		}
 		switch {
-		case probe(c.l1d):
+		case l1Hit:
 			// L1 hit: latency hidden by the out-of-order engine.
-		case probe(c.l2):
+		case l2Hit:
 			out.Add(BeL1D, spec.Latency.L2)
 			total += spec.Latency.L2
-		case probe(m.sockets[mySock].llc):
+		case llcHit:
 			out.Add(BeL2, spec.Latency.LLC)
 			total += spec.Latency.LLC
 		case written && int(st.writer) == mySock:
@@ -231,17 +255,23 @@ func (m *Machine) FetchCode(core int, base uint64, size int, now sim.Cycles, out
 	var total sim.Cycles
 	first := base &^ (ib - 1)
 	last := (base + uint64(size) - 1) &^ (ib - 1)
+	// As in dataAccess: a page probe identical to the previous block's is
+	// a guaranteed hit charging nothing, so it is skipped.
+	lastPage := ^uint64(0)
 	for block := first; ; block += ib {
 		page := block >> m.pageShift
-		if !c.itlb.Access(page) {
-			var cost sim.Cycles
-			if c.stlb.Access(page) {
-				cost = spec.Latency.STLBHit
-			} else {
-				cost = spec.Latency.PageWalk
+		if page != lastPage {
+			lastPage = page
+			if !c.itlb.Access(page) {
+				var cost sim.Cycles
+				if c.stlb.Access(page) {
+					cost = spec.Latency.STLBHit
+				} else {
+					cost = spec.Latency.PageWalk
+				}
+				out.Add(FeITLB, cost)
+				total += cost
 			}
-			out.Add(FeITLB, cost)
-			total += cost
 		}
 
 		key := block / ib
@@ -282,8 +312,7 @@ func (m *Machine) FetchCode(core int, base uint64, size int, now sim.Cycles, out
 		out.Add(FeILD, spec.Decode.ILDPerBlock)
 		total += spec.Decode.SwitchPenalty + spec.Decode.IDQPerBlock + spec.Decode.ILDPerBlock
 		if c.uop != nil {
-			c.uop.Invalidate(key)
-			c.uop.Access(key)
+			c.uop.Replace(key, 0)
 		}
 
 		if block == last {

@@ -9,10 +9,7 @@
 // simulated resources (see package engine's queues).
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Cycles is a duration or instant in simulated CPU cycles.
 type Cycles int64
@@ -27,34 +24,37 @@ func (c Cycles) Millis(clockHz int64) float64 {
 	return c.Seconds(clockHz) * 1e3
 }
 
-type event struct {
-	at  Cycles
-	seq uint64
-	fn  func()
+// eventNode is one heap entry: the firing key plus the slab slot holding
+// the callback. Keeping the callback out of the heap keeps sift swaps to
+// 24 bytes and lets the heap and slab recycle storage without boxing —
+// schedule/fire round-trips are allocation-free in steady state (the old
+// container/heap implementation boxed every event through `any` on both
+// Push and Pop).
+type eventNode struct {
+	at   Cycles
+	seq  uint64
+	slot int32
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by (time, insertion order); the order is total, so
+// any min-heap pops the same unique minimum and firing order is identical
+// across heap shapes.
+func less(a, b eventNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)    { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any      { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event    { return h[0] }
-func (h eventHeap) empty() bool    { return len(h) == 0 }
-func (h eventHeap) String() string { return fmt.Sprintf("eventHeap(len=%d)", len(h)) }
 
 // Kernel is a discrete-event simulation core. It is not safe for concurrent
-// use; a simulation runs on a single goroutine.
+// use; a simulation runs on a single goroutine. Distinct Kernels share
+// nothing, so independent simulations may run on concurrent goroutines.
 type Kernel struct {
 	now  Cycles
-	heap eventHeap
 	seq  uint64
+	heap []eventNode // 4-ary min-heap ordered by (at, seq)
+	slab []func()    // slot -> pending callback
+	free []int32     // recycled slab slots
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -72,7 +72,17 @@ func (k *Kernel) At(t Cycles, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.heap, event{at: t, seq: k.seq, fn: fn})
+	var slot int32
+	if n := len(k.free); n > 0 {
+		slot = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		slot = int32(len(k.slab))
+		k.slab = append(k.slab, nil)
+	}
+	k.slab[slot] = fn
+	k.heap = append(k.heap, eventNode{at: t, seq: k.seq, slot: slot})
+	k.siftUp(len(k.heap) - 1)
 }
 
 // After schedules fn to run d cycles from now.
@@ -89,12 +99,21 @@ func (k *Kernel) Pending() int { return len(k.heap) }
 // Step fires the earliest event, advancing the clock to its timestamp.
 // It returns false when no events remain.
 func (k *Kernel) Step() bool {
-	if k.heap.empty() {
+	if len(k.heap) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.heap).(event)
-	k.now = e.at
-	e.fn()
+	top := k.heap[0]
+	last := len(k.heap) - 1
+	k.heap[0] = k.heap[last]
+	k.heap = k.heap[:last]
+	if last > 0 {
+		k.siftDown(0)
+	}
+	fn := k.slab[top.slot]
+	k.slab[top.slot] = nil // release the closure for GC
+	k.free = append(k.free, top.slot)
+	k.now = top.at
+	fn()
 	return true
 }
 
@@ -102,8 +121,8 @@ func (k *Kernel) Step() bool {
 // (limit <= 0 means no limit). It returns the number of events fired.
 func (k *Kernel) Run(limit Cycles) int {
 	n := 0
-	for !k.heap.empty() {
-		if limit > 0 && k.heap.peek().at > limit {
+	for len(k.heap) > 0 {
+		if limit > 0 && k.heap[0].at > limit {
 			k.now = limit
 			return n
 		}
@@ -111,4 +130,51 @@ func (k *Kernel) Run(limit Cycles) int {
 		n++
 	}
 	return n
+}
+
+// siftUp restores heap order after appending at index i. The 4-ary layout
+// (parent at (i-1)/4, children at 4i+1..4i+4) halves tree height vs a
+// binary heap; for this access mix — pushes land near the bottom, pops
+// re-sink a leaf — the shallower sift wins despite the wider child scan.
+func (k *Kernel) siftUp(i int) {
+	h := k.heap
+	n := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(n, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = n
+}
+
+// siftDown restores heap order after replacing the node at index i.
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := h[i]
+	sz := len(h)
+	for {
+		first := 4*i + 1
+		if first >= sz {
+			break
+		}
+		end := first + 4
+		if end > sz {
+			end = sz
+		}
+		m := first
+		for c := first + 1; c < end; c++ {
+			if less(h[c], h[m]) {
+				m = c
+			}
+		}
+		if !less(h[m], n) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = n
 }
