@@ -8,6 +8,10 @@ cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
+# dsplint enforces the simulator's repo-specific invariants (determinism,
+# cycle accounting, hot-path allocation discipline); see DESIGN.md
+# "Machine-checked invariants". Exits non-zero on any diagnostic.
+go run ./cmd/dsplint ./...
 # -timeout raised above the go test default (10m): the race detector's
 # ~10x slowdown pushes internal/bench past 10 minutes on small hosts.
 go test -race -timeout 45m ./...

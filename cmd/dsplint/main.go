@@ -1,0 +1,168 @@
+// Command dsplint runs the repo's custom static-analysis suite: five
+// analyzers that make the simulator's load-bearing invariants —
+// determinism, exact cycle accounting, and zero-allocation hot paths —
+// regress-proof (see internal/analysis and DESIGN.md's "Machine-checked
+// invariants" section).
+//
+// Usage:
+//
+//	dsplint ./...            # whole module (the CI gate)
+//	dsplint ./internal/hw    # one package
+//	dsplint -list            # describe the analyzers
+//
+// dsplint prints one line per diagnostic and exits nonzero when any
+// diagnostic is produced, so it slots into ci.sh as a hard gate. It uses
+// only the standard library (go/ast, go/parser, go/token, go/types);
+// module-internal imports are resolved from the source tree and standard
+// library imports from GOROOT source.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"streamscale/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	loader.Deterministic = analysis.DefaultDeterministic(loader.ModPath)
+
+	dirs, err := expandPatterns(loader.ModRoot, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	var diags []analysis.Diagnostic
+	failed := false
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(loader.ModRoot, dir)
+		if err != nil {
+			fatal(err)
+		}
+		path := loader.ModPath
+		if rel != "." {
+			path = loader.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.LoadDir(dir, path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsplint: %v\n", err)
+			failed = true
+			continue
+		}
+		diags = append(diags, analysis.RunAnalyzers(pkg, analysis.All())...)
+	}
+
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if r, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(r, "..") {
+				name = r
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if failed || len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// expandPatterns resolves package patterns ("./...", "./internal/hw", a
+// plain directory) into the sorted list of package directories containing
+// at least one non-test Go file. testdata, vendor, and hidden directories
+// are skipped, as the go tool does.
+func expandPatterns(modRoot string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(modRoot, pat)
+		}
+		if !recursive {
+			if hasGoFiles(root) {
+				add(root)
+			} else {
+				return nil, fmt.Errorf("dsplint: no Go files in %s", pat)
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(path)
+			if path != root && (base == "testdata" || base == "vendor" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dsplint: %v\n", err)
+	os.Exit(2)
+}

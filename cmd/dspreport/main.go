@@ -243,6 +243,10 @@ func writeCSVs(dir string) error {
 	return save("fig14_15", func(w *os.File) error { return bench.PlacementCSV(w, placement) })
 }
 
+// main's wall-clock reads only feed the progress line on stderr; all
+// simulated results derive from the deterministic kernel clock.
+//
+//dsplint:wallclock
 func main() {
 	var (
 		pick   = flag.String("experiment", "", "experiment ID to run (default: all)")

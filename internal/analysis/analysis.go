@@ -1,0 +1,232 @@
+// Package analysis is dsplint's engine: a small, dependency-free static
+// analysis framework plus the repo-specific analyzers that keep the
+// simulator's load-bearing invariants machine-checked:
+//
+//   - detrand: simulation-deterministic code must not consult the global
+//     math/rand source or the wall clock (see detrand.go).
+//   - maporder: map iteration in deterministic code must be provably
+//     order-insensitive or sorted (see maporder.go).
+//   - hotalloc: functions annotated //dsp:hotpath must not allocate
+//     (see hotalloc.go).
+//   - bucketswitch: switches over hw.Bucket must be exhaustive
+//     (see bucketswitch.go).
+//   - cyclecharge: per-bucket cycle counters are written only through the
+//     designated charging API (see cyclecharge.go).
+//
+// The framework is intentionally minimal — build on go/ast, go/parser,
+// go/token, and go/types only, so the lint gate needs nothing beyond the
+// standard library.
+//
+// # Annotations
+//
+// Three comment directives tune the analyzers:
+//
+//	//dsplint:ignore <analyzer> <reason>
+//	    Suppresses the named analyzer's diagnostics on the directive's
+//	    line and the line that follows it. The reason is mandatory.
+//
+//	//dsplint:wallclock
+//	    On a function's doc comment: the function intentionally measures
+//	    wall-clock time (e.g. a harness reporting real elapsed seconds),
+//	    so detrand permits time.Now/Since/Until inside it.
+//
+//	//dsp:hotpath
+//	    On a function's doc comment: the function is a simulator hot path;
+//	    hotalloc forbids allocating constructs in its body.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one lint finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass)
+}
+
+// All lists every dsplint analyzer in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, MapOrder, HotAlloc, BucketSwitch, CycleCharge}
+}
+
+// SourceFile pairs one parsed file with its lint metadata.
+type SourceFile struct {
+	AST *ast.File
+	// Deterministic marks the file as part of the simulation-deterministic
+	// set, where detrand and maporder apply.
+	Deterministic bool
+}
+
+// Pass is the unit of work handed to each analyzer: one type-checked
+// package plus a shared diagnostic sink.
+type Pass struct {
+	Fset  *token.FileSet
+	Path  string // import path
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*SourceFile
+
+	ignores map[string]map[int]map[string]bool // filename -> line -> analyzers
+	diags   *[]Diagnostic
+	cur     *Analyzer
+}
+
+// Report records a diagnostic at pos unless an ignore directive suppresses
+// it.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if ig := p.ignores[position.Filename]; ig != nil && ig[position.Line][p.cur.Name] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{Pos: position, Analyzer: p.cur.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// FuncHasDirective reports whether fn's doc comment carries the directive
+// (e.g. "//dsplint:wallclock" or "//dsp:hotpath").
+func FuncHasDirective(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// knownAnalyzers is the set of names //dsplint:ignore may reference.
+func knownAnalyzers() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range All() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+const ignorePrefix = "//dsplint:ignore"
+
+// buildIgnores parses //dsplint:ignore directives in file and returns the
+// line->analyzers suppression map. Malformed directives (missing analyzer
+// name, unknown analyzer, or missing reason) are reported as diagnostics —
+// an escape hatch that does not say what it escapes or why is a smell in
+// its own right.
+func buildIgnores(fset *token.FileSet, file *ast.File, sink *[]Diagnostic) map[int]map[string]bool {
+	known := knownAnalyzers()
+	ignores := make(map[int]map[string]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+			bad := func(msg string) {
+				*sink = append(*sink, Diagnostic{Pos: pos, Analyzer: "directive", Message: msg})
+			}
+			if len(fields) == 0 {
+				bad("dsplint:ignore directive names no analyzer")
+				continue
+			}
+			if !known[fields[0]] {
+				bad(fmt.Sprintf("dsplint:ignore names unknown analyzer %q", fields[0]))
+				continue
+			}
+			if len(fields) < 2 {
+				bad(fmt.Sprintf("dsplint:ignore %s gives no reason", fields[0]))
+				continue
+			}
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				if ignores[line] == nil {
+					ignores[line] = make(map[string]bool)
+				}
+				ignores[line][fields[0]] = true
+			}
+		}
+	}
+	return ignores
+}
+
+// RunAnalyzers runs every analyzer in as over pkg and returns the combined
+// diagnostics sorted by position.
+func RunAnalyzers(pkg *Package, as []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	ignores := make(map[string]map[int]map[string]bool)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.AST.Pos()).Filename
+		ignores[name] = buildIgnores(pkg.Fset, f.AST, &diags)
+	}
+	pass := &Pass{
+		Fset:    pkg.Fset,
+		Path:    pkg.Path,
+		Pkg:     pkg.Types,
+		Info:    pkg.Info,
+		Files:   pkg.Files,
+		ignores: ignores,
+		diags:   &diags,
+	}
+	for _, a := range as {
+		pass.cur = a
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// hwPath reports whether path is the hardware-model package, where the
+// Bucket and CostVec types live.
+func hwPath(path string) bool {
+	return path == "streamscale/internal/hw" || strings.HasSuffix(path, "/internal/hw")
+}
+
+// namedIn reports whether t (after stripping pointers) is the named type
+// name defined in the hardware-model package, returning the *types.Named.
+func namedIn(t types.Type, name string) (*types.Named, bool) {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil || !hwPath(obj.Pkg().Path()) {
+		return nil, false
+	}
+	return n, true
+}

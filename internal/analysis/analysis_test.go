@@ -1,0 +1,82 @@
+package analysis_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"streamscale/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite the expected.txt golden files")
+
+// TestAnalyzersGolden loads every fixture package under testdata/src and
+// compares the full dsplint output (all analyzers, formatted exactly as the
+// driver prints it, with base filenames) against the package's expected.txt.
+// pos fixtures must produce every expected diagnostic; neg fixtures must
+// produce none. Run with -update to regenerate the golden files after
+// changing an analyzer or fixture.
+func TestAnalyzersGolden(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no fixture packages under testdata/src")
+	}
+	sort.Strings(dirs)
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixtures opt into the deterministic file set by directory: detrand and
+	// maporder only apply there, and the other analyzers must not care.
+	loader.Deterministic = func(importPath, _ string) bool {
+		return strings.Contains(importPath, "/detrand/") || strings.Contains(importPath, "/maporder/")
+	}
+
+	for _, dir := range dirs {
+		rel := filepath.ToSlash(dir) // testdata/src/<analyzer>/<pos|neg>
+		name := strings.TrimPrefix(rel, "testdata/src/")
+		t.Run(name, func(t *testing.T) {
+			pkg, err := loader.LoadDir(dir, loader.ModPath+"/internal/analysis/"+rel)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			diags := analysis.RunAnalyzers(pkg, analysis.All())
+			var sb strings.Builder
+			for _, d := range diags {
+				fmt.Fprintf(&sb, "%s:%d:%d: %s: %s\n",
+					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			}
+			got := sb.String()
+
+			golden := filepath.Join(dir, "expected.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s (re-run with -update after intentional changes)\n--- got ---\n%s--- want ---\n%s",
+					golden, got, want)
+			}
+			if strings.HasSuffix(name, "/pos") && got == "" {
+				t.Errorf("pos fixture produced no diagnostics")
+			}
+			if strings.HasSuffix(name, "/neg") && got != "" {
+				t.Errorf("neg fixture produced diagnostics:\n%s", got)
+			}
+		})
+	}
+}

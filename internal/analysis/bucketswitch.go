@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// BucketSwitch requires every `switch` over hw.Bucket to name all buckets
+// explicitly. The Table II accounting only works because each cycle lands
+// in exactly one bucket; when a new bucket is added, every switch that
+// classifies buckets must be revisited, and a default clause would let it
+// slip through silently. A default clause is still allowed (e.g. to panic
+// on out-of-range values) but does not substitute for missing cases.
+var BucketSwitch = &Analyzer{
+	Name: "bucketswitch",
+	Doc:  "require switches over hw.Bucket to cover every bucket constant",
+	Run:  runBucketSwitch,
+}
+
+func runBucketSwitch(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := p.Info.TypeOf(sw.Tag)
+			named, ok := namedIn(tagType, "Bucket")
+			if !ok {
+				return true
+			}
+			p.checkBucketSwitch(sw, named)
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkBucketSwitch(sw *ast.SwitchStmt, bucket *types.Named) {
+	all, numBuckets := bucketConstants(bucket)
+	if numBuckets == 0 {
+		return
+	}
+	covered := make(map[int64]bool)
+	for _, stmt := range sw.Body.List {
+		clause := stmt.(*ast.CaseClause)
+		for _, e := range clause.List {
+			if tv, ok := p.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				if v, exact := constant.Int64Val(tv.Value); exact {
+					covered[v] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for v := int64(0); v < numBuckets; v++ {
+		if !covered[v] {
+			name := all[v]
+			if name == "" {
+				name = fmt.Sprintf("Bucket(%d)", v)
+			}
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		p.Report(sw.Pos(), "switch over hw.Bucket is not exhaustive: missing %s (NumBuckets = %d)",
+			strings.Join(missing, ", "), numBuckets)
+	}
+}
+
+// bucketConstants returns the bucket constants declared in the Bucket
+// type's package (value -> name) and the value of NumBuckets.
+func bucketConstants(bucket *types.Named) (map[int64]string, int64) {
+	pkg := bucket.Obj().Pkg()
+	if pkg == nil {
+		return nil, 0
+	}
+	names := make(map[int64]string)
+	var numBuckets int64
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), bucket) {
+			continue
+		}
+		v, exact := constant.Int64Val(c.Val())
+		if !exact {
+			continue
+		}
+		if name == "NumBuckets" {
+			numBuckets = v
+			continue
+		}
+		names[v] = name
+	}
+	return names, numBuckets
+}

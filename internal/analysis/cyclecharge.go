@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CycleCharge confines writes to the per-bucket cycle counters (hw.CostVec
+// elements) to the designated charging API — CostVec.Add and
+// CostVec.AddVec in the hardware package. Every simulated cycle must be
+// charged to exactly one Table II bucket exactly once; a stray `v[b] += c`
+// (or a wholesale `costs = hw.CostVec{}`) at a call site can double-charge
+// or drop cycles without any test noticing until the breakdown drifts.
+var CycleCharge = &Analyzer{
+	Name: "cyclecharge",
+	Doc:  "confine per-bucket cycle counter writes to CostVec.Add/AddVec",
+	Run:  runCycleCharge,
+}
+
+// chargingAPI names the CostVec methods allowed to mutate bucket counters.
+var chargingAPI = map[string]bool{"Add": true, "AddVec": true}
+
+func runCycleCharge(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if p.isChargingAPI(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					p.checkCostVecAssign(x)
+				case *ast.IncDecStmt:
+					if p.isCostVecElem(x.X) {
+						p.Report(x.Pos(), "direct write to a per-bucket cycle counter; charge through CostVec.Add/AddVec")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isChargingAPI reports whether fn is one of the designated CostVec
+// charging methods declared in the hardware package.
+func (p *Pass) isChargingAPI(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || !chargingAPI[fn.Name.Name] {
+		return false
+	}
+	if !hwPath(p.Path) {
+		return false
+	}
+	_, ok := namedIn(p.Info.TypeOf(fn.Recv.List[0].Type), "CostVec")
+	return ok
+}
+
+func (p *Pass) checkCostVecAssign(asg *ast.AssignStmt) {
+	for _, lhs := range asg.Lhs {
+		if p.isCostVecElem(lhs) {
+			p.Report(lhs.Pos(), "direct write to a per-bucket cycle counter; charge through CostVec.Add/AddVec")
+			continue
+		}
+		// Overwriting a whole existing CostVec drops every cycle it held.
+		// Declaring a fresh one (:=, var) is fine — it starts at zero.
+		if asg.Tok == token.ASSIGN && !isBlank(lhs) {
+			t := p.Info.TypeOf(lhs)
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue // rebinding a *CostVec pointer, not writing counters
+			}
+			if _, ok := namedIn(t, "CostVec"); ok {
+				p.Report(lhs.Pos(), "overwriting a CostVec discards charged cycles; accumulate with CostVec.AddVec")
+			}
+		}
+	}
+}
+
+// isCostVecElem reports whether e is an index into a CostVec (directly or
+// through a pointer).
+func (p *Pass) isCostVecElem(e ast.Expr) bool {
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	_, ok = namedIn(p.Info.TypeOf(idx.X), "CostVec")
+	return ok
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand forbids the two classic determinism leaks in simulation code:
+// the global math/rand source (shared, racily seeded, and not replayable
+// per component) and the wall clock. Simulation randomness must flow from
+// an explicitly seeded *rand.Rand; wall-clock reads are allowed only in
+// functions annotated //dsplint:wallclock, which marks intentional
+// real-time measurement (harness timing, progress reporting).
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand and time.Now in simulation-deterministic code",
+	Run:  runDetRand,
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// shared global source. Constructors (New, NewSource, NewZipf) are fine:
+// they are how seeded generators are made.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings of the same global-source calls.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint": true, "Uint32N": true,
+	"Uint64N": true, "N": true,
+}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+func runDetRand(p *Pass) {
+	for _, f := range p.Files {
+		if !f.Deterministic {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			var body ast.Node = decl // package-level var initializers count too
+			wallclock := false
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				if fn.Body == nil {
+					continue
+				}
+				body = fn.Body
+				wallclock = FuncHasDirective(fn, "//dsplint:wallclock")
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkgPath, ok := p.selectorPackage(sel)
+				if !ok {
+					return true
+				}
+				switch {
+				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && globalRandFuncs[sel.Sel.Name]:
+					p.Report(sel.Pos(),
+						"call to the global math/rand source (rand.%s) in simulation-deterministic code; use an explicitly seeded *rand.Rand",
+						sel.Sel.Name)
+				case pkgPath == "time" && wallClockFuncs[sel.Sel.Name] && !wallclock:
+					p.Report(sel.Pos(),
+						"time.%s in simulation-deterministic code; simulated time comes from the kernel clock (annotate the function //dsplint:wallclock if this is intentional wall-time measurement)",
+						sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// selectorPackage resolves sel's base to an imported package, returning its
+// import path.
+func (p *Pass) selectorPackage(sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

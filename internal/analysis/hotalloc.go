@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc enforces zero-allocation discipline in functions annotated
+// //dsp:hotpath — the simulator's per-event code (the kernel event heap,
+// cache probes, the line-version table) where a single allocation per call
+// multiplies into millions per run and shows up directly in wall time.
+// Forbidden constructs:
+//
+//   - make / new
+//   - append that may grow: any append whose result is not assigned back
+//     to its own first argument (self-append reuses capacity in steady
+//     state; anything else escapes)
+//   - slice, map, and address-taken composite literals
+//   - function literals (closure capture allocates)
+//   - interface conversions of non-pointer values (boxing)
+//   - fmt.* calls
+//   - string concatenation
+//
+// Calls to ordinary functions are allowed — amortized growth belongs in a
+// cold helper (e.g. lineVerTable.grow), which keeps the hot body honest.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocating constructs in //dsp:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !FuncHasDirective(fn, "//dsp:hotpath") {
+				continue
+			}
+			p.checkHotFunc(fn)
+		}
+	}
+}
+
+func (p *Pass) checkHotFunc(fn *ast.FuncDecl) {
+	selfAppends := p.selfAppends(fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			p.checkHotCall(x, selfAppends)
+		case *ast.FuncLit:
+			p.Report(x.Pos(), "closure literal in hot path allocates; hoist it or pass a method value from a cold caller")
+		case *ast.CompositeLit:
+			switch p.Info.TypeOf(x).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				p.Report(x.Pos(), "%s literal in hot path allocates", typeKind(p.Info.TypeOf(x)))
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					p.Report(x.Pos(), "address-taken composite literal in hot path allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isString(p.Info.TypeOf(x)) {
+				p.Report(x.Pos(), "string concatenation in hot path allocates")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isString(p.Info.TypeOf(x.Lhs[0])) {
+				p.Report(x.Pos(), "string concatenation in hot path allocates")
+			}
+			p.checkBoxedAssign(x)
+		case *ast.ValueSpec:
+			for i, v := range x.Values {
+				if i < len(x.Names) {
+					p.checkBoxed(v, p.Info.TypeOf(x.Names[i]))
+				}
+			}
+		case *ast.ReturnStmt:
+			p.checkBoxedReturn(fn, x)
+		}
+		return true
+	})
+}
+
+// selfAppends collects append calls of the shape `x = append(x, …)`, the
+// steady-state-zero-alloc idiom the heap and slab use: once warm, the slice
+// owns enough capacity and append only writes.
+func (p *Pass) selfAppends(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	ok := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, isAsg := n.(*ast.AssignStmt)
+		if !isAsg || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, isCall := asg.Rhs[0].(*ast.CallExpr)
+		if !isCall || !p.isBuiltin(call.Fun, "append") || len(call.Args) == 0 {
+			return true
+		}
+		if types.ExprString(asg.Lhs[0]) == types.ExprString(call.Args[0]) {
+			ok[call] = true
+		}
+		return true
+	})
+	return ok
+}
+
+func (p *Pass) checkHotCall(call *ast.CallExpr, selfAppends map[*ast.CallExpr]bool) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				p.Report(call.Pos(), "%s in hot path allocates", id.Name)
+			case "append":
+				if !selfAppends[call] {
+					p.Report(call.Pos(), "append whose result is not assigned back to its argument may grow and allocate")
+				}
+			}
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if path, ok := p.selectorPackage(sel); ok && path == "fmt" {
+			p.Report(call.Pos(), "fmt.%s in hot path allocates (and formats); move it behind a cold error helper", sel.Sel.Name)
+			return
+		}
+	}
+	// Explicit conversion to an interface type boxes its operand.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			p.checkBoxed(call.Args[0], tv.Type)
+		}
+		return
+	}
+	// Implicit boxing at call boundaries: concrete non-pointer arguments
+	// passed to interface parameters.
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		p.checkBoxed(arg, pt)
+	}
+}
+
+func (p *Pass) checkBoxedAssign(asg *ast.AssignStmt) {
+	if len(asg.Lhs) != len(asg.Rhs) {
+		return
+	}
+	for i := range asg.Lhs {
+		if lt := p.Info.TypeOf(asg.Lhs[i]); lt != nil {
+			p.checkBoxed(asg.Rhs[i], lt)
+		}
+	}
+}
+
+func (p *Pass) checkBoxedReturn(fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	results := fn.Type.Results
+	if results == nil {
+		return
+	}
+	var resultTypes []types.Type
+	for _, field := range results.List {
+		n := max(1, len(field.Names))
+		for i := 0; i < n; i++ {
+			resultTypes = append(resultTypes, p.Info.TypeOf(field.Type))
+		}
+	}
+	if len(ret.Results) != len(resultTypes) {
+		return
+	}
+	for i, r := range ret.Results {
+		p.checkBoxed(r, resultTypes[i])
+	}
+}
+
+// checkBoxed reports e when assigning it to dst converts a concrete
+// non-pointer value to an interface — the allocation Go escape analysis
+// rarely removes.
+func (p *Pass) checkBoxed(e ast.Expr, dst types.Type) {
+	if dst == nil {
+		return
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	src := p.Info.TypeOf(e)
+	if src == nil {
+		return
+	}
+	switch src.Underlying().(type) {
+	case *types.Interface, *types.Pointer:
+		return // already boxed, or a pointer (stored directly, no alloc)
+	case *types.Basic:
+		if src.Underlying().(*types.Basic).Kind() == types.UntypedNil {
+			return
+		}
+	}
+	p.Report(e.Pos(), "interface conversion of non-pointer %s value in hot path allocates", src.String())
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func typeKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

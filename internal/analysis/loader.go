@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Types *types.Package
+	Info  *types.Info
+	Files []*SourceFile
+}
+
+// Loader parses and type-checks packages of the enclosing module without
+// any dependencies beyond the standard library: module-internal imports are
+// resolved straight from the source tree, standard-library imports through
+// go/importer's source importer.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string // absolute path of the module root (dir of go.mod)
+	ModPath string // module path from go.mod
+
+	// Deterministic classifies a file as simulation-deterministic given its
+	// package import path and base filename. Nil means no file is.
+	Deterministic func(importPath, filename string) bool
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := FindModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer: module-internal paths load from source,
+// everything else is delegated to the standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load resolves a module-internal import path to its directory and loads it.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+	return l.LoadDir(filepath.Join(l.ModRoot, filepath.FromSlash(rel)), path)
+}
+
+// LoadDir parses and type-checks the package in dir under the given import
+// path. Test files (_test.go) are skipped: dsplint guards production
+// simulation code, and test-only dependencies would drag in packages the
+// checker does not need.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go source files in %s", dir)
+	}
+
+	var files []*ast.File
+	var srcs []*SourceFile
+	for _, n := range names {
+		full := filepath.Join(dir, n)
+		f, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		det := l.Deterministic != nil && l.Deterministic(path, n)
+		srcs = append(srcs, &SourceFile{AST: f, Deterministic: det})
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, typeErrs[0])
+	}
+
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Types: tpkg,
+		Info:  info,
+		Files: srcs,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// DefaultDeterministic is the repo policy for the simulation-deterministic
+// file set: the discrete-event kernel and scheduler, the hardware model,
+// the profiler, the input generators, the benchmark applications, the sim
+// path of the engine (every file except the *native* runtime), and the
+// dspreport driver whose output must be bit-identical across runs.
+func DefaultDeterministic(modPath string) func(importPath, filename string) bool {
+	full := map[string]bool{
+		modPath + "/internal/sim":      true,
+		modPath + "/internal/hw":       true,
+		modPath + "/internal/profiler": true,
+		modPath + "/internal/gen":      true,
+		modPath + "/internal/apps":     true,
+		modPath + "/cmd/dspreport":     true,
+	}
+	return func(importPath, filename string) bool {
+		if full[importPath] {
+			return true
+		}
+		if importPath == modPath+"/internal/engine" {
+			return !strings.Contains(filepath.Base(filename), "native")
+		}
+		return false
+	}
+}

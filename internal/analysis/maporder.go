@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for … range` over a map in simulation-deterministic code:
+// Go randomizes map iteration order per run, so any order-dependent effect
+// inside the loop breaks bit-identical replay. A range is accepted when the
+// analyzer can prove it order-insensitive:
+//
+//   - the body only performs commutative integer accumulation (+=, -=, |=,
+//     &=, ^=, ++, --), assigns constants, deletes the current key, or
+//     breaks/continues — the result is the same whatever the visit order;
+//   - or the loop is the collect-keys idiom: its body only appends the key
+//     to a slice, and the very next statement sorts that slice.
+//
+// Everything else needs an explicit //dsplint:ignore maporder <reason>.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive map iteration in simulation-deterministic code",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		if !f.Deterministic {
+			continue
+		}
+		p.mapRangesInBlocks(f.AST, func(rng *ast.RangeStmt, next ast.Stmt) {
+			if _, ok := p.Info.TypeOf(rng.X).Underlying().(*types.Map); !ok {
+				return
+			}
+			if p.orderInsensitiveBody(rng) {
+				return
+			}
+			if p.keyCollectIdiom(rng, next) {
+				return
+			}
+			p.Report(rng.Pos(),
+				"iteration over map %s has order-dependent effects; iterate sorted keys instead (or annotate //dsplint:ignore maporder <reason>)",
+				types.ExprString(rng.X))
+		})
+	}
+}
+
+// mapRangesInBlocks walks the file and calls fn for every RangeStmt,
+// passing the statement that lexically follows it in its enclosing block
+// (nil when it is the last statement or not directly inside a block).
+func (p *Pass) mapRangesInBlocks(file *ast.File, fn func(*ast.RangeStmt, ast.Stmt)) {
+	following := make(map[*ast.RangeStmt]ast.Stmt)
+	ast.Inspect(file, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			if r, ok := s.(*ast.RangeStmt); ok && i+1 < len(list) {
+				following[r] = list[i+1]
+			}
+		}
+		return true
+	})
+	ast.Inspect(file, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			fn(r, following[r])
+		}
+		return true
+	})
+}
+
+// orderInsensitiveBody reports whether every statement in the range body is
+// provably insensitive to iteration order.
+func (p *Pass) orderInsensitiveBody(rng *ast.RangeStmt) bool {
+	for _, s := range rng.Body.List {
+		if !p.orderInsensitiveStmt(s, rng) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pass) orderInsensitiveStmt(s ast.Stmt, rng *ast.RangeStmt) bool {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			if !p.orderInsensitiveStmt(inner, rng) {
+				return false
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if st.Init != nil || !p.pureExpr(st.Cond) {
+			return false
+		}
+		if !p.orderInsensitiveStmt(st.Body, rng) {
+			return false
+		}
+		return st.Else == nil || p.orderInsensitiveStmt(st.Else, rng)
+	case *ast.BranchStmt:
+		// Unlabeled break/continue: which iteration triggers them is only
+		// observable through effects the other cases already constrain.
+		return (st.Tok == token.BREAK || st.Tok == token.CONTINUE) && st.Label == nil
+	case *ast.IncDecStmt:
+		return p.pureExpr(st.X)
+	case *ast.AssignStmt:
+		return p.orderInsensitiveAssign(st)
+	case *ast.ExprStmt:
+		// delete(m, k) visits each key exactly once regardless of order.
+		if call, ok := st.X.(*ast.CallExpr); ok && p.isBuiltin(call.Fun, "delete") {
+			return len(call.Args) == 2 && p.pureExpr(call.Args[0]) && p.pureExpr(call.Args[1])
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// orderInsensitiveAssign accepts commutative integer accumulation
+// (x += e, x -= e, x |= e, x &= e, x ^= e) and constant assignment
+// (x = <constant>): both yield the same final state under any visit order.
+func (p *Pass) orderInsensitiveAssign(st *ast.AssignStmt) bool {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 || !p.pureExpr(st.Lhs[0]) {
+		return false
+	}
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative and associative only over integers: float rounding
+		// makes += order-sensitive in the low bits.
+		t := p.Info.TypeOf(st.Lhs[0])
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsInteger == 0 {
+			return false
+		}
+		return p.pureExpr(st.Rhs[0])
+	case token.ASSIGN:
+		tv, ok := p.Info.Types[st.Rhs[0]]
+		return ok && tv.Value != nil // constant: same value every iteration
+	}
+	return false
+}
+
+// keyCollectIdiom recognizes
+//
+//	for k := range m { s = append(s, k) }
+//	sort.Xxx(s…)          // or slices.Sort(s…)
+//
+// where the sort immediately follows the loop.
+func (p *Pass) keyCollectIdiom(rng *ast.RangeStmt, next ast.Stmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if v, ok := rng.Value.(*ast.Ident); ok && v.Name != "_" {
+		return false
+	}
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Tok != token.ASSIGN {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || !p.isBuiltin(call.Fun, "append") || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok || types.ExprString(asg.Lhs[0]) != dst.Name {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := p.Info.Defs[key]
+	if keyObj == nil {
+		keyObj = p.Info.Uses[key] // `for k = range m` over an existing var
+	}
+	if keyObj == nil || p.Info.Uses[arg] != keyObj {
+		return false
+	}
+	return p.sortsSlice(next, dst.Name)
+}
+
+// sortsSlice reports whether stmt is a sort.* or slices.Sort* call whose
+// first argument mentions the identifier name.
+func (p *Pass) sortsSlice(stmt ast.Stmt, name string) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgPath, ok := p.selectorPackage(sel)
+	if !ok || (pkgPath != "sort" && pkgPath != "slices") {
+		return false
+	}
+	found := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// pureExpr reports whether e evaluates without side effects: identifiers,
+// selectors, index expressions, literals, unary/binary operators, and calls
+// to the pure builtins len and cap.
+func (p *Pass) pureExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		return p.pureExpr(x.X)
+	case *ast.IndexExpr:
+		return p.pureExpr(x.X) && p.pureExpr(x.Index)
+	case *ast.ParenExpr:
+		return p.pureExpr(x.X)
+	case *ast.StarExpr:
+		return p.pureExpr(x.X)
+	case *ast.UnaryExpr:
+		return x.Op != token.AND && p.pureExpr(x.X)
+	case *ast.BinaryExpr:
+		return p.pureExpr(x.X) && p.pureExpr(x.Y)
+	case *ast.CallExpr:
+		if p.isBuiltin(x.Fun, "len") || p.isBuiltin(x.Fun, "cap") {
+			return len(x.Args) == 1 && p.pureExpr(x.Args[0])
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// isBuiltin reports whether fun denotes the named Go builtin.
+func (p *Pass) isBuiltin(fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,33 @@
+// Package fixture exercises switches bucketswitch must accept: exhaustive
+// bucket switches and switches over unrelated types.
+package fixture
+
+import "streamscale/internal/hw"
+
+func classify(b hw.Bucket) string {
+	switch b {
+	case hw.TC:
+		return "computation"
+	case hw.TBr:
+		return "bad-speculation"
+	case hw.FeITLB, hw.FeL1I, hw.FeILD, hw.FeIDQ:
+		return "front-end"
+	case hw.BeDTLB, hw.BeL1D, hw.BeL2, hw.BeLLCLocal, hw.BeLLCRemote:
+		return "back-end"
+	default:
+		return "out of range"
+	}
+}
+
+// Switches over other types are none of bucketswitch's business.
+func other(n int) int {
+	switch n {
+	case 1:
+		return 10
+	}
+	switch {
+	case n > 0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,27 @@
+// Package fixture exercises bucketswitch violations: non-exhaustive
+// switches over hw.Bucket, with and without a default clause.
+package fixture
+
+import "streamscale/internal/hw"
+
+func topLevel(b hw.Bucket) int {
+	switch b {
+	case hw.TC:
+		return 0
+	case hw.TBr:
+		return 1
+	}
+	return 2
+}
+
+// A default clause does not substitute for the missing cases.
+func stallKind(b hw.Bucket) string {
+	switch b {
+	case hw.FeITLB, hw.FeL1I, hw.FeILD, hw.FeIDQ:
+		return "front-end"
+	case hw.BeDTLB, hw.BeL1D, hw.BeL2:
+		return "back-end"
+	default:
+		return "other"
+	}
+}

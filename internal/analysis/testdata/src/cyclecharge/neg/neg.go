@@ -1,0 +1,31 @@
+// Package fixture exercises cycle accounting cyclecharge must accept:
+// charging through the API, fresh declarations, reads, pointer rebinding,
+// and a justified suppression.
+package fixture
+
+import (
+	"streamscale/internal/hw"
+	"streamscale/internal/sim"
+)
+
+func charge(out *hw.CostVec, c sim.Cycles) sim.Cycles {
+	out.Add(hw.TC, c)
+	var local hw.CostVec
+	local.Add(hw.BeL1D, c)
+	out.AddVec(&local)
+	fresh := hw.CostVec{}
+	fresh.Add(hw.TBr, 1)
+	total := fresh[hw.TBr] + out[hw.TC] // reads are fine
+	return total
+}
+
+func rebind(a, b *hw.CostVec) *hw.CostVec {
+	v := a
+	v = b // rebinding a pointer, not writing counters
+	return v
+}
+
+func reset(v *hw.CostVec) {
+	//dsplint:ignore cyclecharge fixture demonstrating a justified reset
+	*v = hw.CostVec{}
+}

@@ -1,0 +1,20 @@
+// Package fixture exercises cyclecharge violations: writes to per-bucket
+// cycle counters outside the CostVec.Add/AddVec charging API.
+package fixture
+
+import (
+	"streamscale/internal/hw"
+	"streamscale/internal/sim"
+)
+
+func charge(out *hw.CostVec, c sim.Cycles) {
+	out[hw.TC] += c
+	out[hw.TBr] = c
+	out[hw.FeILD]++
+}
+
+func reset(v hw.CostVec, out *hw.CostVec) hw.CostVec {
+	v = hw.CostVec{}
+	*out = hw.CostVec{}
+	return v
+}

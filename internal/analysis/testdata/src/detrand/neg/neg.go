@@ -1,0 +1,31 @@
+// Package fixture exercises detrand-clean code: explicitly seeded
+// generators, annotated wall-time measurement, and a justified suppression.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Constructors are how seeded generators are made; they are fine.
+var source = rand.New(rand.NewSource(1))
+
+func pick(n int) int {
+	return source.Intn(n)
+}
+
+// harness reports real elapsed seconds on purpose.
+//
+//dsplint:wallclock
+func harness() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+func work() {}
+
+func suppressed() time.Time {
+	//dsplint:ignore detrand fixture demonstrating a justified suppression
+	return time.Now()
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises detrand violations: global math/rand source
+// calls and wall-clock reads in simulation-deterministic code.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Package-level initializers run before any seeding discipline can apply.
+var jitter = rand.Int63()
+
+func pick(n int) int {
+	return rand.Intn(n)
+}
+
+func sample() float64 {
+	x := rand.Float64()
+	return x
+}
+
+func elapsed() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+func work() {}
+
+// Malformed suppression directives are diagnostics in their own right.
+func malformed() int {
+	a := rand.Int() //dsplint:ignore
+	b := rand.Int() //dsplint:ignore nosuchanalyzer because
+	c := rand.Int() //dsplint:ignore detrand
+	return a + b + c
+}

@@ -1,0 +1,54 @@
+// Package fixture exercises hot-path code hotalloc must accept: integer
+// work, self-appends, pointer interface values, cold helpers, and a
+// justified suppression.
+package fixture
+
+type sink interface{ consume() }
+
+type payload struct{ n int }
+
+func (*payload) consume() {}
+
+func take(v any) { _ = v }
+
+type ring struct {
+	slots []int
+	free  []int32
+}
+
+// push reuses capacity via the self-append idiom; in steady state the
+// slices never grow.
+//
+//dsp:hotpath
+func (r *ring) push(v int) {
+	r.slots = append(r.slots, v)
+	r.free = append(r.free, int32(v))
+	n := v*2 + len(r.slots)
+	if n > 0 {
+		r.slots[0] = n
+	}
+}
+
+// pointers box without allocating; untyped nil is interface zero.
+//
+//dsp:hotpath
+func (r *ring) forward(pl *payload) sink {
+	take(pl)
+	take(nil)
+	var s sink = pl
+	return s
+}
+
+// Cold helpers may allocate freely; only annotated functions are hot.
+func (r *ring) grow() {
+	r.slots = make([]int, 2*len(r.slots))
+}
+
+// A justified suppression for a deliberate one-off allocation.
+//
+//dsp:hotpath
+func (r *ring) lazyInit() {
+	if r.slots == nil {
+		r.slots = make([]int, 0, 64) //dsplint:ignore hotalloc one-time lazy initialization, amortized over the run
+	}
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises hotalloc violations: allocating constructs
+// inside a //dsp:hotpath function.
+package fixture
+
+import "fmt"
+
+type sink interface{ consume() }
+
+type payload struct{ n int }
+
+func (payload) consume() {}
+
+func take(v any) { _ = v }
+
+// step is a hot path that commits every forbidden construct.
+//
+//dsp:hotpath
+func step(buf []int, scratch []int, label string, pl payload) ([]int, string) {
+	tmp := make([]int, 4)
+	ptr := new(int)
+	buf = append(buf, scratch...)
+	grown := append(scratch, 1)
+	cb := func() int { return *ptr }
+	lit := []int{1, 2, 3}
+	table := map[int]int{1: 2}
+	boxed := any(pl.n)
+	take(pl.n)
+	var s sink = pl
+	s.consume()
+	msg := fmt.Sprintf("step %s", label)
+	label = label + "!"
+	label += "?"
+	addr := &payload{n: cb()}
+	_ = addr
+	_ = boxed
+	_ = grown
+	_ = lit
+	_ = table
+	_ = tmp
+	return buf, msg
+}
+
+// boxedReturn boxes its concrete result into an interface return value.
+//
+//dsp:hotpath
+func boxedReturn(pl payload) sink {
+	return pl
+}

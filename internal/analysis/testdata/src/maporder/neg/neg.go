@@ -1,0 +1,65 @@
+// Package fixture exercises order-insensitive map iteration that maporder
+// must accept without annotation.
+package fixture
+
+import "sort"
+
+// Integer accumulation is commutative and associative.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Flag-setting with a constant plus break: same outcome any order.
+func hasNegative(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v < 0 {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+// Deleting visited keys touches each entry exactly once.
+func clearZero(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// The collect-keys-then-sort idiom, in both := and = forms.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeysAssigned(m map[string]int) []string {
+	var keys []string
+	var k string
+	for k = range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// A justified suppression for a genuinely order-sensitive loop.
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	//dsplint:ignore maporder fixture demonstrating a justified suppression
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,37 @@
+// Package fixture exercises maporder violations: map iteration whose
+// effects depend on Go's randomized visit order.
+package fixture
+
+// Float addition is not associative: the low bits depend on visit order.
+func fuse(weights map[string]float64) float64 {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	return sum
+}
+
+// Appending values produces a slice in visit order, never sorted.
+func values(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Calling an arbitrary function per entry is order-observable.
+func emit(m map[string]int, f func(string, int)) {
+	for k, v := range m {
+		f(k, v)
+	}
+}
+
+// Non-constant assignment keeps only the last-visited value.
+func last(m map[string]int) int {
+	var x int
+	for _, v := range m {
+		x = v + 1
+	}
+	return x
+}

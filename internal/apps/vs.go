@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"sort"
+
 	"streamscale/internal/engine"
 	"streamscale/internal/gen"
 )
@@ -359,8 +361,17 @@ func (s *scoreOp) Process(ctx engine.Context, t engine.Tuple) {
 	if len(mods) < 4 {
 		return // not enough evidence yet
 	}
+	// Fuse in sorted module order: float addition is not associative, so
+	// iterating the map directly would let Go's randomized iteration order
+	// perturb the low bits of the fused score run to run.
+	names := make([]string, 0, len(mods))
+	for m := range mods {
+		names = append(names, m)
+	}
+	sort.Strings(names)
 	var num1, den float64
-	for _, sw := range mods {
+	for _, m := range names {
+		sw := mods[m]
 		num1 += sw[0] * sw[1]
 		den += sw[1]
 	}

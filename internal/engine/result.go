@@ -5,6 +5,7 @@ import (
 
 	"streamscale/internal/metrics"
 	"streamscale/internal/profiler"
+	"streamscale/internal/sim"
 )
 
 // ExecStat summarizes one executor's run.
@@ -41,6 +42,11 @@ type Result struct {
 
 	// Profile is the processor-time account (simulated runtime only).
 	Profile *profiler.Profile
+	// ChargedCycles is the hardware model's cycle-conservation ledger:
+	// the total cycles its charging methods returned during the run (sim
+	// only). It must equal Profile.Costs.Total(); package profiler's
+	// conservation test enforces the invariant.
+	ChargedCycles sim.Cycles
 	// OperatorProfiles breaks the account down per operator (sim only).
 	OperatorProfiles map[string]*profiler.Profile
 	// CPUUtil is mean core utilization over enabled cores (sim only).

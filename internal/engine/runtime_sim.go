@@ -161,6 +161,12 @@ type simRuntime struct {
 
 // RunSim executes the topology on the simulated machine and returns both
 // performance results and the full processor-time profile.
+//
+// The time.Now pair below measures real wall time spent simulating (for
+// Result.WallSeconds, a harness-side metric); simulated time comes only
+// from the kernel clock.
+//
+//dsplint:wallclock
 func RunSim(t *Topology, cfg SimConfig) (*Result, error) {
 	start := time.Now()
 	cfg.fill()
@@ -303,6 +309,7 @@ func (rt *simRuntime) run(app string) (*Result, error) {
 		ElapsedSeconds: elapsed.Seconds(clock),
 		Latency:        metrics.NewHistogram(1 << 16),
 		Profile:        rt.profile,
+		ChargedCycles:  rt.machine.ChargedCycles(),
 		CPUUtil:        rt.sched.Utilization(rt.enabledCores),
 		MemUtil:        rt.machine.DRAMUtilization(rt.cfg.EnabledSockets(), elapsed),
 		QPIBytes:       rt.machine.QPIBytes(),

@@ -77,14 +77,64 @@ func (v *CostVec) Total() sim.Cycles {
 }
 
 // FrontEnd returns total front-end stall time (TFe).
-func (v *CostVec) FrontEnd() sim.Cycles {
-	return v[FeITLB] + v[FeL1I] + v[FeILD] + v[FeIDQ]
-}
+func (v *CostVec) FrontEnd() sim.Cycles { return v.GroupTotal(GroupFrontEnd) }
 
 // BackEnd returns total back-end stall time (TBe).
-func (v *CostVec) BackEnd() sim.Cycles {
-	return v[BeDTLB] + v[BeL1D] + v[BeL2] + v[BeLLCLocal] + v[BeLLCRemote]
+func (v *CostVec) BackEnd() sim.Cycles { return v.GroupTotal(GroupBackEnd) }
+
+// GroupTotal returns the sum over the buckets belonging to group g.
+func (v *CostVec) GroupTotal(g BucketGroup) sim.Cycles {
+	var t sim.Cycles
+	for b := Bucket(0); b < NumBuckets; b++ {
+		if b.Group() == g {
+			t += v[b]
+		}
+	}
+	return t
 }
 
 // Stalls returns all non-computation time.
 func (v *CostVec) Stalls() sim.Cycles { return v.Total() - v[TC] }
+
+// BucketGroup is one of the paper's four top-level execution-time
+// components (Figure 7): effective computation, bad speculation, and
+// front-end and back-end stalls.
+type BucketGroup int
+
+const (
+	GroupComputation BucketGroup = iota
+	GroupBadSpec
+	GroupFrontEnd
+	GroupBackEnd
+	// NumGroups is the number of top-level components.
+	NumGroups
+)
+
+var groupNames = [NumGroups]string{"computation", "bad-speculation", "front-end", "back-end"}
+
+func (g BucketGroup) String() string {
+	if g >= 0 && g < NumGroups {
+		return groupNames[g]
+	}
+	return "group(?)"
+}
+
+// Group returns the top-level component b belongs to. Every bucket belongs
+// to exactly one group, so the groups partition total accounted time; the
+// switch must stay exhaustive (dsplint's bucketswitch analyzer rejects a
+// new bucket that is not classified here), and an out-of-range value is a
+// caller bug worth a panic rather than a silent misattribution.
+func (b Bucket) Group() BucketGroup {
+	switch b {
+	case TC:
+		return GroupComputation
+	case TBr:
+		return GroupBadSpec
+	case FeITLB, FeL1I, FeILD, FeIDQ:
+		return GroupFrontEnd
+	case BeDTLB, BeL1D, BeL2, BeLLCLocal, BeLLCRemote:
+		return GroupBackEnd
+	default:
+		panic("hw: Group of out-of-range bucket " + b.String())
+	}
+}

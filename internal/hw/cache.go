@@ -114,12 +114,16 @@ func (c *Cache) EffectiveBytes() int {
 
 // Access looks up a block, inserting it on miss (evicting LRU if needed),
 // and reports whether it hit. Equivalent to AccessV with version 0.
+//
+//dsp:hotpath
 func (c *Cache) Access(block uint64) bool { return c.AccessV(block, 0) }
 
 // WriteAccessV is AccessV for a store that just bumped the line's version
 // to ver: a copy at ver-1 belongs to this cache's core from its previous
 // write or read and is upgraded in place (an M-state rewrite), counting as
 // a hit.
+//
+//dsp:hotpath
 func (c *Cache) WriteAccessV(block uint64, ver uint32) bool {
 	si := block & c.setMask
 	if h := c.hint[si]; c.blocks[h] == block && (c.vers[h] == ver || c.vers[h] == ver-1) {
@@ -132,6 +136,7 @@ func (c *Cache) WriteAccessV(block uint64, ver uint32) bool {
 	return c.writeSlow(block, ver, si)
 }
 
+//dsp:hotpath
 func (c *Cache) writeSlow(block uint64, ver uint32, si uint64) bool {
 	base := int(si) * c.assoc
 	for i := base; i < base+c.assoc; i++ {
@@ -152,6 +157,8 @@ func (c *Cache) writeSlow(block uint64, ver uint32, si uint64) bool {
 // filled at an older version is stale (another core wrote the line since)
 // and counts as a miss, refilled at ver. This is the model's lightweight
 // stand-in for MESI invalidations.
+//
+//dsp:hotpath
 func (c *Cache) AccessV(block uint64, ver uint32) bool {
 	c.tick++
 	si := block & c.setMask
@@ -168,6 +175,8 @@ func (c *Cache) AccessV(block uint64, ver uint32) bool {
 // that both matches the tag and tracks the LRU victim (first minimum,
 // preserving the original combined scan's strict-< tie-break). The caller
 // has already advanced c.tick.
+//
+//dsp:hotpath
 func (c *Cache) accessSlow(block uint64, ver uint32, si uint64) bool {
 	base := int(si) * c.assoc
 	bl := c.blocks[base : base+c.assoc]
@@ -217,6 +226,8 @@ func (c *Cache) accessSlow(block uint64, ver uint32, si uint64) bool {
 // refreshed in place; the pair could land it on a different empty way, but
 // way identity is unobservable (lookups are tag-keyed, LRU compares used
 // ticks, and a refill over an empty or self way never fires OnEvict).
+//
+//dsp:hotpath
 func (c *Cache) Replace(block uint64, ver uint32) {
 	c.tick++
 	si := block & c.setMask

@@ -32,10 +32,13 @@ func newLineVerTable() *lineVerTable {
 // idx is a Fibonacci-multiplicative hash; line numbers are dense-ish per
 // region but differ in high bits across regions, and the multiply mixes
 // both into the top bits the shift keeps.
+//
+//dsp:hotpath
 func (t *lineVerTable) idx(key uint64) int {
 	return int((key * 0x9E3779B97F4A7C15) >> t.shift)
 }
 
+//dsp:hotpath
 func (t *lineVerTable) get(key uint64) lineState {
 	mask := len(t.slots) - 1
 	for i := t.idx(key); ; i = (i + 1) & mask {
@@ -49,6 +52,10 @@ func (t *lineVerTable) get(key uint64) lineState {
 	}
 }
 
+// put inserts or updates a line's state. Amortized growth lives in the
+// cold grow helper so the hot body itself never allocates.
+//
+//dsp:hotpath
 func (t *lineVerTable) put(key uint64, st lineState) {
 	mask := len(t.slots) - 1
 	for i := t.idx(key); ; i = (i + 1) & mask {

@@ -22,6 +22,12 @@ type Machine struct {
 	// and the socket of the last writer (so a read miss can be served by a
 	// dirty-copy forward instead of home memory).
 	versions *lineVerTable
+
+	// charged is the cycle-conservation ledger: every charging method
+	// (dataAccess, FetchCode, StreamAccess, Compute) adds the cycles it
+	// returns here as well as to the caller's CostVec, so ChargedCycles
+	// can be reconciled against the profiler's per-bucket aggregate.
+	charged sim.Cycles
 }
 
 type lineState struct {
@@ -136,6 +142,10 @@ func (m *Machine) DataWrite(core int, addr uint64, size int, now sim.Cycles, out
 	return m.dataAccess(core, addr, size, true, now, out)
 }
 
+// dataAccess walks the simulated memory hierarchy line by line — the
+// single hottest loop in the model.
+//
+//dsp:hotpath
 func (m *Machine) dataAccess(core int, addr uint64, size int, write bool, now sim.Cycles, out *CostVec) sim.Cycles {
 	if size <= 0 {
 		return 0
@@ -238,6 +248,7 @@ func (m *Machine) dataAccess(core int, addr uint64, size int, write bool, now si
 			break
 		}
 	}
+	m.charged += total
 	return total
 }
 
@@ -319,6 +330,7 @@ func (m *Machine) FetchCode(core int, base uint64, size int, now sim.Cycles, out
 			break
 		}
 	}
+	m.charged += total
 	return total
 }
 
@@ -350,6 +362,7 @@ func (m *Machine) StreamAccess(core int, addr uint64, size int, now sim.Cycles, 
 		total = streamCycles + qpiCycles + qwait + dwait
 		out.Add(BeLLCRemote, total)
 	}
+	m.charged += total
 	return total
 }
 
@@ -363,8 +376,17 @@ func (m *Machine) Compute(uops int, mispredicts int, out *CostVec) sim.Cycles {
 	tbr := sim.Cycles(mispredicts) * m.Spec.MispredictPenalty
 	out.Add(TC, tc)
 	out.Add(TBr, tbr)
+	m.charged += tc + tbr
 	return tc + tbr
 }
+
+// ChargedCycles returns the conservation ledger: the total cycles returned
+// by every charging method since the machine was built. Because each method
+// attributes exactly the cycles it returns to cost-vector buckets, this
+// must equal the sum over buckets of all CostVecs charged against this
+// machine; package profiler's conservation test enforces the invariant
+// end to end.
+func (m *Machine) ChargedCycles() sim.Cycles { return m.charged }
 
 // NoteInvocation records that function fn (with the given hot-code size in
 // bytes) was invoked on core, and returns the instruction footprint — the

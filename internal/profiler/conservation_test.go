@@ -1,0 +1,84 @@
+package profiler_test
+
+import (
+	"testing"
+
+	"streamscale/internal/apps"
+	"streamscale/internal/engine"
+	"streamscale/internal/hw"
+	"streamscale/internal/sim"
+)
+
+// runApp simulates one benchmark application with a small event count and
+// returns the result.
+func runApp(t *testing.T, app, system string) *engine.Result {
+	t.Helper()
+	topo, err := apps.Build(app, apps.Config{Events: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := engine.Storm()
+	if system == "flink" {
+		sys = engine.Flink()
+	}
+	res, err := engine.RunSim(topo, engine.SimConfig{System: sys, Sockets: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// checkConservation asserts the cycle-accounting invariants the breakdown
+// figures depend on:
+//
+//  1. Conservation: every cycle the hardware model charges lands in exactly
+//     one Table II bucket, so the profiler's per-bucket total equals the
+//     machine's independent ChargedCycles ledger.
+//  2. Partition: the four top-level Figure 7 components (computation, bad
+//     speculation, front-end, back-end) partition the total — shares sum
+//     to exactly 1.
+//  3. Attribution: per-operator profiles decompose the global profile —
+//     summing them bucket by bucket reproduces it exactly.
+func checkConservation(t *testing.T, res *engine.Result) {
+	t.Helper()
+	total := res.Profile.Costs.Total()
+	if total == 0 {
+		t.Fatal("run charged zero cycles; the test exercises nothing")
+	}
+	if total != res.ChargedCycles {
+		t.Errorf("cycles leaked: profiler total %d != machine ledger %d (diff %d)",
+			total, res.ChargedCycles, total-res.ChargedCycles)
+	}
+
+	var groups sim.Cycles
+	for g := hw.BucketGroup(0); g < hw.NumGroups; g++ {
+		groups += res.Profile.Costs.GroupTotal(g)
+	}
+	if groups != total {
+		t.Errorf("top-level components do not partition the total: %d != %d", groups, total)
+	}
+
+	var sum hw.CostVec
+	for _, p := range res.OperatorProfiles {
+		sum.AddVec(&p.Costs)
+	}
+	if sum != res.Profile.Costs {
+		t.Errorf("operator profiles do not sum to the global profile:\n%v\nvs\n%v",
+			sum, res.Profile.Costs)
+	}
+}
+
+// TestCycleConservation runs every benchmark application and checks that
+// the profiler's account reconciles against the hardware model's ledger.
+func TestCycleConservation(t *testing.T) {
+	for _, app := range apps.BenchmarkNames() {
+		t.Run(app+"/storm", func(t *testing.T) {
+			checkConservation(t, runApp(t, app, "storm"))
+		})
+	}
+	// One Flink run covers the second system profile's distinct framework
+	// cost paths (chaining-capable channels, no acking).
+	t.Run("wc/flink", func(t *testing.T) {
+		checkConservation(t, runApp(t, "wc", "flink"))
+	})
+}

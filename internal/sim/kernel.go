@@ -67,9 +67,11 @@ func (k *Kernel) Now() Cycles { return k.now }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it would silently reorder causality.
+//
+//dsp:hotpath
 func (k *Kernel) At(t Cycles, fn func()) {
 	if t < k.now {
-		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now)) //dsplint:ignore hotalloc fatal-error path, never taken in steady state
 	}
 	k.seq++
 	var slot int32
@@ -86,9 +88,11 @@ func (k *Kernel) At(t Cycles, fn func()) {
 }
 
 // After schedules fn to run d cycles from now.
+//
+//dsp:hotpath
 func (k *Kernel) After(d Cycles, fn func()) {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %d", d))
+		panic(fmt.Sprintf("sim: negative delay %d", d)) //dsplint:ignore hotalloc fatal-error path, never taken in steady state
 	}
 	k.At(k.now+d, fn)
 }
@@ -98,6 +102,8 @@ func (k *Kernel) Pending() int { return len(k.heap) }
 
 // Step fires the earliest event, advancing the clock to its timestamp.
 // It returns false when no events remain.
+//
+//dsp:hotpath
 func (k *Kernel) Step() bool {
 	if len(k.heap) == 0 {
 		return false
@@ -136,6 +142,8 @@ func (k *Kernel) Run(limit Cycles) int {
 // (parent at (i-1)/4, children at 4i+1..4i+4) halves tree height vs a
 // binary heap; for this access mix — pushes land near the bottom, pops
 // re-sink a leaf — the shallower sift wins despite the wider child scan.
+//
+//dsp:hotpath
 func (k *Kernel) siftUp(i int) {
 	h := k.heap
 	n := h[i]
@@ -151,6 +159,8 @@ func (k *Kernel) siftUp(i int) {
 }
 
 // siftDown restores heap order after replacing the node at index i.
+//
+//dsp:hotpath
 func (k *Kernel) siftDown(i int) {
 	h := k.heap
 	n := h[i]
