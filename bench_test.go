@@ -13,7 +13,6 @@
 package main
 
 import (
-	"sync"
 	"testing"
 
 	"streamscale/internal/apps"
@@ -21,54 +20,35 @@ import (
 	"streamscale/internal/engine"
 )
 
-// Expensive sweeps shared by multiple benchmark targets are cached.
-var (
-	studyMu       sync.Mutex
-	studyCells    []bench.CellResult
-	batchingRows  []bench.BatchingRow
-	placementRows []bench.PlacementRow
-)
-
+// Sweeps shared by multiple benchmark targets need no caching here: the
+// bench package's content-addressed memo layer runs each distinct cell
+// once per process and replays repeats from memory, so these helpers call
+// the experiment drivers directly.
 func batchingOnce(b *testing.B) []bench.BatchingRow {
 	b.Helper()
-	studyMu.Lock()
-	defer studyMu.Unlock()
-	if batchingRows == nil {
-		rows, err := bench.Batching()
-		if err != nil {
-			b.Fatal(err)
-		}
-		batchingRows = rows
+	rows, err := bench.Batching()
+	if err != nil {
+		b.Fatal(err)
 	}
-	return batchingRows
+	return rows
 }
 
 func placementOnce(b *testing.B) []bench.PlacementRow {
 	b.Helper()
-	studyMu.Lock()
-	defer studyMu.Unlock()
-	if placementRows == nil {
-		rows, err := bench.Placement()
-		if err != nil {
-			b.Fatal(err)
-		}
-		placementRows = rows
+	rows, err := bench.Placement()
+	if err != nil {
+		b.Fatal(err)
 	}
-	return placementRows
+	return rows
 }
 
 func singleSocket(b *testing.B) []bench.CellResult {
 	b.Helper()
-	studyMu.Lock()
-	defer studyMu.Unlock()
-	if studyCells == nil {
-		cells, err := bench.SingleSocketStudy()
-		if err != nil {
-			b.Fatal(err)
-		}
-		studyCells = cells
+	cells, err := bench.SingleSocketStudy()
+	if err != nil {
+		b.Fatal(err)
 	}
-	return studyCells
+	return cells
 }
 
 func logOnce(b *testing.B, i int, table string) {

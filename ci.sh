@@ -15,3 +15,8 @@ go run ./cmd/dsplint ./...
 # -timeout raised above the go test default (10m): the race detector's
 # ~10x slowdown pushes internal/bench past 10 minutes on small hosts.
 go test -race -timeout 45m ./...
+# Cache-equivalence gate: the same sweep run cold (simulate + persist)
+# and warm (replay from the -cache directory, zero simulations) must
+# produce byte-identical experiment tables. Run without -race so it
+# exercises the exact code the CLIs ship.
+go test -run TestColdVsWarmEquivalence -count=1 ./internal/bench/

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,9 +36,18 @@ func main() {
 		profile = flag.Bool("profile", true, "print the Table II processor-time breakdown")
 		native  = flag.Bool("native", false, "run on the native goroutine runtime (real wall-clock, no processor model)")
 		jobs    = flag.Int("jobs", runtime.NumCPU(), "parallel simulation cells for multi-run steps like -place")
+		cache   = flag.String("cache", "", "persistent result cache directory (results are identical with or without it)")
+		jsonOut = flag.Bool("json", false, "also write a machine-readable BENCH_<app>_<system>.json trajectory record")
 	)
 	flag.Parse()
 	bench.SetJobs(*jobs)
+	if *cache != "" {
+		pruned, err := bench.EnableDiskCache(*cache)
+		fail(err)
+		if pruned > 0 {
+			fmt.Fprintf(os.Stderr, "dspbench: pruned %d stale cache file(s) from %s\n", pruned, *cache)
+		}
+	}
 
 	if *native {
 		runNative(*app, *system, *batch, *events, *scale, *seed)
@@ -86,6 +96,63 @@ func main() {
 	if *profile {
 		fmt.Printf("\n%s\n", res.Profile.String())
 	}
+	if *jsonOut {
+		name, err := writeBenchJSON(cell, res)
+		fail(err)
+		fmt.Fprintln(os.Stderr, "dspbench: wrote", name)
+	}
+}
+
+// benchRecord is the machine-readable benchmark trajectory record the
+// -json flag emits; the schema is documented in the README ("Benchmark
+// trajectories"). CellKey ties the record to both the exact cell and the
+// simulator build, so regression tooling can tell "same experiment, new
+// code" apart from "different experiment".
+type benchRecord struct {
+	Schema    string `json:"schema"` // "dspbench/v1"
+	CellKey   string `json:"cell_key"`
+	Canonical string `json:"canonical"`
+
+	App     string `json:"app"`
+	System  string `json:"system"`
+	Sockets int    `json:"sockets"`
+	Batch   int    `json:"batch"`
+
+	ThroughputKps float64 `json:"throughput_k_events_per_s"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+
+	SourceEvents  int64   `json:"source_events"`
+	ElapsedSimS   float64 `json:"elapsed_simulated_s"`
+	WallSeconds   float64 `json:"wall_seconds"` // host compute time; not deterministic
+	ChargedCycles int64   `json:"charged_cycles"`
+}
+
+func writeBenchJSON(cell bench.Cell, res *engine.Result) (string, error) {
+	rec := benchRecord{
+		Schema:        "dspbench/v1",
+		CellKey:       bench.CellKey(cell),
+		Canonical:     cell.Canonical(),
+		App:           cell.App,
+		System:        cell.System,
+		Sockets:       cell.Sockets,
+		Batch:         cell.BatchSize,
+		ThroughputKps: res.Throughput().KPerSecond(),
+		LatencyP50Ms:  res.Latency.Quantile(0.5),
+		LatencyP99Ms:  res.Latency.Quantile(0.99),
+		LatencyMeanMs: res.Latency.Mean(),
+		SourceEvents:  res.SourceEvents,
+		ElapsedSimS:   res.ElapsedSeconds,
+		WallSeconds:   res.WallSeconds,
+		ChargedCycles: int64(res.ChargedCycles),
+	}
+	name := fmt.Sprintf("BENCH_%s_%s.json", cell.App, cell.System)
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return name, os.WriteFile(name, append(data, '\n'), 0o666)
 }
 
 func fail(err error) {

@@ -29,20 +29,12 @@ type experiment struct {
 }
 
 func experiments() []experiment {
-	var study []bench.CellResult
-	singleSocket := func() ([]bench.CellResult, error) {
-		if study == nil {
-			cells, err := bench.SingleSocketStudy()
-			if err != nil {
-				return nil, err
-			}
-			study = cells
-		}
-		return study, nil
-	}
+	// No local result sharing: the bench package memoizes every cell by
+	// content, so the experiments that reuse the single-socket study (and
+	// each other's baselines) deduplicate simulation work automatically.
 	fromStudy := func(f func([]bench.CellResult) string) func() (string, error) {
 		return func() (string, error) {
-			cells, err := singleSocket()
+			cells, err := bench.SingleSocketStudy()
 			if err != nil {
 				return "", err
 			}
@@ -253,9 +245,20 @@ func main() {
 		list   = flag.Bool("list", false, "list experiment IDs")
 		csvDir = flag.String("csv", "", "also write plot-ready CSV files into this directory")
 		jobs   = flag.Int("jobs", runtime.NumCPU(), "parallel simulation cells per sweep (results are identical at any value)")
+		cache  = flag.String("cache", "", "persistent result cache directory (results are identical with or without it; stale builds' entries are pruned)")
 	)
 	flag.Parse()
 	bench.SetJobs(*jobs)
+	if *cache != "" {
+		pruned, err := bench.EnableDiskCache(*cache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dspreport:", err)
+			os.Exit(1)
+		}
+		if pruned > 0 {
+			fmt.Fprintf(os.Stderr, "dspreport: pruned %d stale cache file(s) from %s\n", pruned, *cache)
+		}
+	}
 
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir); err != nil {
@@ -296,5 +299,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dspreport: unknown experiment %q (try -list)\n", *pick)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "dspreport: %d experiment(s) in %.1fs (jobs=%d)\n", ran, time.Since(start).Seconds(), bench.Jobs())
+	st := bench.MemoStats()
+	fmt.Fprintf(os.Stderr, "dspreport: %d experiment(s) in %.1fs (jobs=%d; %d simulated, %d deduped, %d from cache)\n",
+		ran, time.Since(start).Seconds(), bench.Jobs(), st.Runs, st.MemHits, st.DiskHits)
 }

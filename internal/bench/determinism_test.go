@@ -61,16 +61,23 @@ func TestCellDeterminism(t *testing.T) {
 		sequential[i] = res
 	}
 
-	// Re-run sequentially: the simulator itself must be deterministic.
+	// Re-run sequentially, bypassing the memo layer: the simulator itself
+	// must be deterministic, not just the cache coherent.
 	for i, c := range cells {
-		res, err := Run(c)
+		res, err := runDirect(c)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if res == sequential[i] {
+			t.Fatalf("runDirect returned a memoized pointer for %s/%s", c.App, c.System)
 		}
 		assertIdentical(t, "rerun "+c.App+"/"+c.System, sequential[i], res)
 	}
 
-	// And through the pool at jobs=4.
+	// And through the pool at jobs=4. Drop the memoized entries first so
+	// the workers really simulate concurrently — under -race this is what
+	// proves cells share no mutable state.
+	ResetMemo()
 	parallel, err := RunCells(cells, 4)
 	if err != nil {
 		t.Fatal(err)

@@ -117,8 +117,11 @@ func (c Cell) Topology() (*engine.Topology, error) {
 	return topo, nil
 }
 
-// Run executes the cell on the simulated machine.
-func Run(c Cell) (*engine.Result, error) {
+// runDirect executes the cell on the simulated machine unconditionally,
+// bypassing the memo layer. Run is the memoized entry point (memoize.go);
+// the determinism test uses runDirect to prove repeat simulations are
+// bit-identical rather than merely pointer-identical.
+func runDirect(c Cell) (*engine.Result, error) {
 	sys, err := systemProfile(c.System)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"streamscale/internal/hw"
+	"streamscale/internal/jvm"
+)
+
+// Canonical returns the cell's canonical serialization: two cells that the
+// simulator cannot distinguish produce the same string, and any difference
+// the simulator could observe produces a different one. It is the cache
+// key of the memo layer (hashed there together with the build
+// fingerprint), so it applies exactly the normalizations the runtime
+// applies — batch 0 and 1 are both "no batching" (runtime clamps to 1),
+// seed 0 defaults to 1, scale 0 to 1, sockets 0 to the full machine,
+// EventScale collapses to the resolved event count, the zero GC config to
+// the G1 defaults — and serializes maps in sorted key order so insertion
+// order never leaks into the key. Normalizations only ever mirror a
+// runtime clamp; anything the runtime might observe stays verbatim, so a
+// too-conservative key can cost a duplicate simulation but never alias
+// two distinguishable cells.
+func (c Cell) Canonical() string {
+	spec := hw.TableIII()
+
+	sockets := c.Sockets
+	if sockets <= 0 || sockets > spec.Sockets {
+		sockets = spec.Sockets
+	}
+	cores := c.Cores
+	if cores <= 0 || cores >= sockets*spec.CoresPerSocket {
+		cores = 0 // unrestricted
+	}
+	batch := c.BatchSize
+	if batch <= 0 {
+		batch = 1
+	}
+	scale := c.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	gc := c.GC
+	if gc.YoungBytes == 0 {
+		gc = jvm.G1()
+	}
+	if gc.YoungBytes >= 64<<20 {
+		gc.YoungBytes = 2 << 20
+	}
+
+	var sb strings.Builder
+	sb.Grow(256)
+	fmt.Fprintf(&sb, "cell-v1|app=%q|sys=%q|sockets=%d|cores=%d|batch=%d|events=%d|scale=%d|seed=%d",
+		c.App, c.System, sockets, cores, batch, c.Events(), scale, seed)
+	fmt.Fprintf(&sb, "|gc=%d,%d,%s,%s,%s,%d,%s,%t",
+		int(gc.Kind), gc.YoungBytes,
+		ff(gc.SurvivorFraction), ff(gc.CopyCyclesPerByte), ff(gc.ScanCyclesPerByte),
+		int64(gc.PauseBase), ff(gc.MutatorVisibleFraction), gc.UseNUMA)
+	fmt.Fprintf(&sb, "|huge=%t|nouop=%t|chain=%t", c.HugePages, c.NoUopCache, c.Chaining)
+
+	sb.WriteString("|place=")
+	if len(c.Placement) > 0 {
+		keys := make([]int, 0, len(c.Placement))
+		for k := range c.Placement {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d:%d", k, c.Placement[k])
+		}
+	}
+
+	sb.WriteString("|par=")
+	if len(c.ParallelismOverride) > 0 {
+		ops := make([]string, 0, len(c.ParallelismOverride))
+		for op := range c.ParallelismOverride {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for i, op := range ops {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%q:%d", op, c.ParallelismOverride[op])
+		}
+	}
+	return sb.String()
+}
+
+// ff formats a float64 with full round-trip precision.
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,43 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"os"
+	"sync"
+)
+
+var (
+	fingerprintOnce sync.Once
+	fingerprintVal  string
+)
+
+// BuildFingerprint derives the simulator version fingerprint from the
+// build: the SHA-256 of the running executable's bytes. Any code change
+// produces a different binary and therefore a different fingerprint, so
+// persisted results can never outlive the simulator that computed them —
+// the property that keeps a cached dspreport trustworthy. The hash is
+// computed once per process.
+//
+// It returns "" when the executable cannot be read; New still produces a
+// working in-memory store then, but AttachDisk refuses to persist.
+func BuildFingerprint() string {
+	fingerprintOnce.Do(func() {
+		path, err := os.Executable()
+		if err != nil {
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return
+		}
+		fingerprintVal = "exe-" + hex.EncodeToString(h.Sum(nil))
+	})
+	return fingerprintVal
+}

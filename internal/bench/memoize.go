@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"streamscale/internal/bench/memo"
+	"streamscale/internal/engine"
+)
+
+// store memoizes every cell this package runs, keyed by Cell.Canonical
+// and the build fingerprint. The full dspreport sweep requests many cells
+// more than once (the single-socket study feeds Fig 6a, Table IV and
+// Figs 7/8/11; Batching and Placement re-run each other's baselines;
+// bestPlacement brute-forces near-identical plans), so sharing one store
+// across all experiment drivers collapses those to one simulation each.
+var store = memo.New(memo.BuildFingerprint())
+
+// Run executes the cell on the simulated machine, memoized: repeated and
+// concurrent requests for an indistinguishable cell simulate once and
+// share the result. Callers must treat the returned Result as immutable.
+func Run(c Cell) (*engine.Result, error) {
+	return store.Do(c.Canonical(), func() (*engine.Result, error) { return runDirect(c) })
+}
+
+// EnableDiskCache attaches a persistent result cache at dir (the CLIs'
+// -cache flag): results persist across processes, and a re-run of an
+// unchanged build replays from disk instead of re-simulating. Cache files
+// written by other builds are pruned; the number removed is returned.
+func EnableDiskCache(dir string) (pruned int, err error) {
+	return store.AttachDisk(dir)
+}
+
+// MemoStats returns the memo layer's counters; Stats.Runs is the number
+// of simulations actually executed, which the dedup tests pin.
+func MemoStats() memo.Stats { return store.Stats() }
+
+// CellKey returns the cell's content-addressed cache key: the hash of its
+// canonical serialization and the build fingerprint. Two invocations of
+// the same build agree on it; any code or cell change moves it, which is
+// what makes it usable as a stable identity in benchmark trajectories.
+func CellKey(c Cell) string { return store.Key(c.Canonical()) }
+
+// ResetMemo drops all in-memory memoized results (the attached cache
+// directory, if any, is kept). Tests use it to force fresh simulations.
+func ResetMemo() { store.Reset() }

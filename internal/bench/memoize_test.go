@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"streamscale/internal/bench/memo"
+)
+
+// TestRunCellsDedup pins the in-process dedup acceptance criterion:
+// cells that appear more than once in a sweep — verbatim or modulo a
+// runtime clamp — simulate exactly once and share the result.
+func TestRunCellsDedup(t *testing.T) {
+	ResetMemo()
+	a := Cell{App: "wc", System: "storm", Sockets: 1, EventScale: 0.2}
+	aClamped := a
+	aClamped.BatchSize = 1 // batch 0 and 1 are both "no batching"
+	aClamped.Seed = 1      // seed 0 defaults to 1
+	b := Cell{App: "wc", System: "flink", Sockets: 1, EventScale: 0.2}
+
+	cells := []Cell{a, b, a, aClamped, b, a}
+	results, err := RunCells(cells, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := MemoStats()
+	if st.Runs != 2 {
+		t.Fatalf("sweep with 2 unique cells ran %d simulations", st.Runs)
+	}
+	if st.MemHits != int64(len(cells))-2 {
+		t.Fatalf("MemHits = %d, want %d", st.MemHits, len(cells)-2)
+	}
+	for _, i := range []int{2, 3, 5} {
+		if results[i].Res != results[0].Res {
+			t.Fatalf("cell %d did not share cell 0's result", i)
+		}
+	}
+	if results[4].Res != results[1].Res {
+		t.Fatal("repeated flink cell did not share its result")
+	}
+	if results[0].Res == results[1].Res {
+		t.Fatal("distinct cells share a result")
+	}
+
+	// A repeated sequential Run also joins the memoized entry.
+	res, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != results[0].Res {
+		t.Fatal("sequential Run re-simulated a memoized cell")
+	}
+	if st := MemoStats(); st.Runs != 2 {
+		t.Fatalf("run count grew to %d", st.Runs)
+	}
+}
+
+// TestColdVsWarmEquivalence runs the same small sweep twice against one
+// cache directory — once cold (simulating and persisting), once warm in a
+// fresh store of the same build (replaying from disk, zero simulations) —
+// and requires byte-identical experiment tables. ci.sh runs this as its
+// cache-equivalence gate after the race stage.
+func TestColdVsWarmEquivalence(t *testing.T) {
+	fp := memo.BuildFingerprint()
+	if fp == "" {
+		t.Skip("test binary unreadable; no build fingerprint")
+	}
+	dir := t.TempDir()
+	orig := store
+	defer func() { store = orig }()
+
+	cells := []Cell{
+		{App: "wc", System: "storm", Sockets: 1, EventScale: 0.2},
+		{App: "fd", System: "flink", Sockets: 1, EventScale: 0.2},
+		{App: "sd", System: "storm", Sockets: 1, BatchSize: 4, EventScale: 0.2},
+		{App: "lg", System: "flink", Sockets: 1, Chaining: true, EventScale: 0.2},
+	}
+	sweep := func() string {
+		crs, err := RunCells(cells, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Full-precision table: stricter than the rounded report tables.
+		var sb strings.Builder
+		for _, cr := range crs {
+			r := cr.Res
+			fmt.Fprintf(&sb, "%s/%s events=%d/%d elapsed=%v tp=%v p50=%v p99=%v cycles=%d gc=%d\n",
+				cr.Cell.App, cr.Cell.System, r.SourceEvents, r.SinkEvents,
+				r.ElapsedSeconds, r.Throughput().PerSecond(),
+				r.Latency.Quantile(0.5), r.Latency.Quantile(0.99),
+				r.ChargedCycles, r.MinorGCs)
+		}
+		return sb.String()
+	}
+
+	store = memo.New(fp)
+	if _, err := store.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	cold := sweep()
+	if st := store.Stats(); st.Runs != int64(len(cells)) || st.DiskErrors != 0 {
+		t.Fatalf("cold stats = %+v, want %d runs and no disk errors", st, len(cells))
+	}
+
+	// A fresh store of the same build models the next process.
+	store = memo.New(fp)
+	if _, err := store.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	warm := sweep()
+	if st := store.Stats(); st.Runs != 0 || st.DiskHits != int64(len(cells)) {
+		t.Fatalf("warm stats = %+v, want 0 runs and %d disk hits", st, len(cells))
+	}
+
+	if cold != warm {
+		t.Fatalf("cold and warm tables differ:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+}

@@ -1,0 +1,25 @@
+package engine
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// EncodeResult writes a Result to w in a self-describing binary form that
+// DecodeResult inverts losslessly (histograms keep their retained samples
+// and decimation state, so quantiles and CDFs survive the round trip).
+// The persistent cell cache in internal/bench/memo stores results this
+// way; the encoding is not required to be byte-stable across runs — cache
+// keys come from the cell, never from the encoded result.
+func EncodeResult(w io.Writer, r *Result) error {
+	return gob.NewEncoder(w).Encode(r)
+}
+
+// DecodeResult reads a Result previously written by EncodeResult.
+func DecodeResult(r io.Reader) (*Result, error) {
+	var res Result
+	if err := gob.NewDecoder(r).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

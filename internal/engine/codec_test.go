@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"streamscale/internal/hw"
+	"streamscale/internal/metrics"
+	"streamscale/internal/profiler"
+	"streamscale/internal/sim"
+)
+
+func sampleHistogram(seed int, n int) *metrics.Histogram {
+	h := metrics.NewHistogram(128)
+	for i := 0; i < n; i++ {
+		h.Observe(float64((i*seed)%251) / 7)
+	}
+	return h
+}
+
+func sampleProfile(seed int) *profiler.Profile {
+	p := profiler.New()
+	var v hw.CostVec
+	for b := hw.Bucket(0); b < hw.NumBuckets; b++ {
+		v[b] = sim.Cycles(int64(seed) * (int64(b) + 3))
+	}
+	p.Add(&v)
+	p.GCCycles = sim.Cycles(int64(seed) * 17)
+	for i := 0; i < 40*seed; i++ {
+		p.NoteFootprint(i * 64)
+	}
+	return p
+}
+
+// TestResultCodecRoundTrip populates every Result field — including nested
+// histograms with mid-schedule decimation state and per-operator profiles
+// — and asserts the decode is deep-equal to the original.
+func TestResultCodecRoundTrip(t *testing.T) {
+	r := &Result{
+		App:            "WC",
+		System:         "storm",
+		SourceEvents:   123456,
+		SinkEvents:     120001,
+		ElapsedSeconds: 12.75,
+		WallSeconds:    3.25,
+		Latency:        sampleHistogram(3, 500),
+		Profile:        sampleProfile(2),
+		ChargedCycles:  987654321,
+		OperatorProfiles: map[string]*profiler.Profile{
+			"split":   sampleProfile(3),
+			"count":   sampleProfile(5),
+			"monitor": sampleProfile(7),
+		},
+		CPUUtil:        0.82,
+		MemUtil:        0.41,
+		QPIBytes:       1 << 30,
+		AckerCompleted: 119998,
+		MinorGCs:       42,
+		GCShare:        0.07,
+		Executors: []ExecStat{
+			{Op: "split", Index: 0, Socket: 0, Tuples: 61000, MeanTupleMs: 0.02},
+			{Op: "split", Index: 1, Socket: 1, Tuples: 59001, MeanTupleMs: 0.021},
+			{Op: "count", Index: 0, Socket: -1, Tuples: 120001, MeanTupleMs: 0.005},
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, r); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeResult(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip not lossless:\n have %+v\n got  %+v", r, got)
+	}
+}
+
+// TestResultCodecNilPointers checks the sparse shapes the native runtime
+// produces (no profile, no operator breakdown) survive the round trip.
+func TestResultCodecNilPointers(t *testing.T) {
+	r := &Result{
+		App:            "FD",
+		System:         "native",
+		SourceEvents:   10,
+		ElapsedSeconds: 1,
+		Latency:        metrics.NewHistogram(0), // empty: ±Inf min/max sentinels
+	}
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, r); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeResult(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip not lossless:\n have %+v\n got  %+v", r, got)
+	}
+}

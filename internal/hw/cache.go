@@ -6,31 +6,31 @@ package hw
 // usable; construct with NewCache.
 //
 // The model is the simulator's hottest code: every simulated memory access
-// probes up to four levels. Two layout decisions keep probes cheap while
-// leaving hit/miss/eviction decisions — and therefore simulation results —
-// bit-identical to the straightforward array-of-structs scan:
-//
-//   - Ways are stored structure-of-arrays (tags, LRU ticks, and coherence
-//     versions in separate flat set-major arrays), so the combined
-//     tag-match + LRU-victim scan touches 16 bytes per way instead of 24.
-//   - Each set keeps an MRU way hint (the way of its most recent hit).
-//     AccessV/WriteAccessV probe it first and are small enough to inline
-//     into their callers, so a hint hit — the common case for the looping
-//     code fetches the simulator issues — costs a handful of instructions
-//     and no function call; only hint misses pay for the outlined scan.
+// probes up to four levels. Each set keeps an MRU way hint — the way of
+// its most recent hit — plus a shadow copy of that way's tag in a
+// set-indexed array. A lookup probes the shadow tag first: a probe hit
+// (the common case for the looping code fetches the simulator issues)
+// touches only the hinted way, while a probe miss costs one set-indexed
+// compare and a predictable branch before the ordinary scan, so
+// hint-averse access patterns (round-robin probing where consecutive
+// lookups in a set never repeat a block) pay almost nothing for it. The
+// probe never decides a lookup by itself: hintBlock[s] always mirrors the
+// hinted way's tag, so a shadow-tag match is exactly a tag match, and
+// hit/miss/eviction decisions — and therefore simulation results — stay
+// bit-identical to the plain scan.
 type Cache struct {
-	// blocks holds each way's tag, or noBlock when the way is invalid.
-	// used holds the LRU tick (0 = never used); ver the coherence version.
-	blocks []uint64
-	used   []uint64
-	vers   []uint32
-	// hint holds, per set, the absolute blocks/used/vers index of the
-	// set's most recent hit (initially the set's way 0). A hint may go
-	// stale (Invalidate, eviction); probes verify the tag, so stale
-	// hints cost a fallthrough, never a wrong answer.
-	hint    []int32
+	sets    [][]way
 	setMask uint64
 	assoc   int
+
+	// hints holds one MRU hint per set: a shadow copy of the most
+	// recently hit way's tag plus a pointer to that way (tag noBlock when
+	// the hint is invalid). Invariant: hints[s].block != noBlock implies
+	// hints[s].w is a valid way of set s holding that block — every site
+	// that installs or invalidates a block restores it, so a shadow match
+	// never names a wrong way. One struct per set keeps the probe to a
+	// single bounds-checked load.
+	hints []setHint
 
 	blockBytes int // granularity CacheFor was sized with (0 if NewCache)
 
@@ -45,8 +45,22 @@ type Cache struct {
 	tick uint64 // logical LRU clock
 }
 
-// noBlock marks an invalid way. Real keys never reach it: data/code tags
-// are addresses divided by the block size (< 2^49), pages < 2^36.
+type way struct {
+	block uint64 // tag, or noBlock when the way is invalid
+	used  uint64 // last-use tick; 0 = never used (victim scan prefers it)
+	ver   uint32 // coherence version the copy was filled at
+}
+
+// setHint is a set's MRU hint: the shadow tag and the way it shadows.
+type setHint struct {
+	block uint64 // tag of the most recently hit way, or noBlock
+	w     *way   // the way holding block; nil only while block == noBlock
+}
+
+// noBlock marks an invalid way or shadow tag. Real keys never reach it:
+// data and code tags are addresses divided by the block size (< 2^49),
+// pages < 2^36 — so tagging invalid ways with noBlock lets every scan
+// match on the tag alone, with no separate validity compare per way.
 const noBlock = ^uint64(0)
 
 // NewCache builds a cache with the given number of sets and associativity.
@@ -61,16 +75,18 @@ func NewCache(sets, assoc int) *Cache {
 	c := &Cache{
 		setMask: uint64(sets - 1),
 		assoc:   assoc,
-		blocks:  make([]uint64, sets*assoc),
-		used:    make([]uint64, sets*assoc),
-		vers:    make([]uint32, sets*assoc),
-		hint:    make([]int32, sets),
+		hints:   make([]setHint, sets),
 	}
-	for i := range c.blocks {
-		c.blocks[i] = noBlock
+	c.sets = make([][]way, sets)
+	for i := range c.sets {
+		ws := make([]way, assoc)
+		for j := range ws {
+			ws[j].block = noBlock
+		}
+		c.sets[i] = ws
 	}
-	for i := range c.hint {
-		c.hint[i] = int32(i * assoc)
+	for i := range c.hints {
+		c.hints[i].block = noBlock
 	}
 	return c
 }
@@ -126,31 +142,28 @@ func (c *Cache) Access(block uint64) bool { return c.AccessV(block, 0) }
 //dsp:hotpath
 func (c *Cache) WriteAccessV(block uint64, ver uint32) bool {
 	si := block & c.setMask
-	if h := c.hint[si]; c.blocks[h] == block && (c.vers[h] == ver || c.vers[h] == ver-1) {
-		c.tick++
-		c.vers[h] = ver
-		c.used[h] = c.tick
-		c.hits++
-		return true
-	}
-	return c.writeSlow(block, ver, si)
-}
-
-//dsp:hotpath
-func (c *Cache) writeSlow(block uint64, ver uint32, si uint64) bool {
-	base := int(si) * c.assoc
-	for i := base; i < base+c.assoc; i++ {
-		if c.blocks[i] == block && (c.vers[i] == ver || c.vers[i] == ver-1) {
+	h := &c.hints[si]
+	if h.block == block {
+		if w := h.w; w.ver == ver || w.ver == ver-1 {
 			c.tick++
-			c.vers[i] = ver
-			c.used[i] = c.tick
+			w.ver = ver
+			w.used = c.tick
 			c.hits++
-			c.hint[si] = int32(i)
 			return true
 		}
 	}
-	c.tick++
-	return c.accessSlow(block, ver, si)
+	set := c.sets[si]
+	for i := range set {
+		w := &set[i]
+		if w.block == block && (w.ver == ver || w.ver == ver-1) {
+			c.tick++
+			w.ver = ver
+			w.used = c.tick
+			c.hits++
+			return true
+		}
+	}
+	return c.AccessV(block, ver)
 }
 
 // AccessV looks up a block requiring coherence version ver: a resident copy
@@ -162,59 +175,48 @@ func (c *Cache) writeSlow(block uint64, ver uint32, si uint64) bool {
 func (c *Cache) AccessV(block uint64, ver uint32) bool {
 	c.tick++
 	si := block & c.setMask
-	// Fast path: the MRU way hint.
-	if h := c.hint[si]; c.blocks[h] == block && c.vers[h] == ver {
-		c.used[h] = c.tick
-		c.hits++
-		return true
+	h := &c.hints[si]
+	if h.block == block {
+		if w := h.w; w.ver == ver {
+			w.used = c.tick
+			c.hits++
+			return true
+		}
 	}
-	return c.accessSlow(block, ver, si)
-}
-
-// accessSlow is the full lookup behind AccessV's hint probe: a single pass
-// that both matches the tag and tracks the LRU victim (first minimum,
-// preserving the original combined scan's strict-< tie-break). The caller
-// has already advanced c.tick.
-//
-//dsp:hotpath
-func (c *Cache) accessSlow(block uint64, ver uint32, si uint64) bool {
-	base := int(si) * c.assoc
-	bl := c.blocks[base : base+c.assoc]
-	us := c.used[base : base+c.assoc : base+c.assoc]
-	vi := 0
-	min := ^uint64(0)
-	for i, b := range bl {
-		if b == block {
-			if c.vers[base+i] == ver {
-				us[i] = c.tick
+	set := c.sets[si]
+	var victim *way
+	for i := range set {
+		w := &set[i]
+		if w.block == block {
+			if w.ver == ver {
+				w.used = c.tick
 				c.hits++
-				c.hint[si] = int32(base + i)
 				return true
 			}
 			// Stale copy: refill in place at the current version.
 			c.misses++
-			c.vers[base+i] = ver
-			us[i] = c.tick
-			c.hint[si] = int32(base + i)
+			w.ver = ver
+			w.used = c.tick
+			h.block = block
+			h.w = w
 			return false
 		}
-		if us[i] < min {
-			min = us[i]
-			vi = i
+		if victim == nil || w.used < victim.used {
+			victim = w
 		}
 	}
-	// Full miss: evict the LRU victim.
 	c.misses++
-	if min != 0 {
+	if victim.used != 0 {
 		c.evictions++
 		if c.OnEvict != nil {
-			c.OnEvict(bl[vi])
+			c.OnEvict(victim.block)
 		}
 	}
-	bl[vi] = block
-	us[vi] = c.tick
-	c.vers[base+vi] = ver
-	c.hint[si] = int32(base + vi)
+	victim.block = block
+	victim.used = c.tick
+	victim.ver = ver
+	h.block = block
+	h.w = victim
 	return false
 }
 
@@ -231,54 +233,58 @@ func (c *Cache) accessSlow(block uint64, ver uint32, si uint64) bool {
 func (c *Cache) Replace(block uint64, ver uint32) {
 	c.tick++
 	si := block & c.setMask
-	base := int(si) * c.assoc
-	bl := c.blocks[base : base+c.assoc]
-	us := c.used[base : base+c.assoc : base+c.assoc]
-	vi := 0
-	min := ^uint64(0)
-	for i, b := range bl {
-		if b == block {
-			vi, min = i, 0
+	set := c.sets[si]
+	var victim *way
+	for i := range set {
+		w := &set[i]
+		if w.block == block {
+			victim = w
 			break
 		}
-		if us[i] < min {
-			min = us[i]
-			vi = i
+		if victim == nil || w.used < victim.used {
+			victim = w
 		}
 	}
 	c.misses++
-	if min != 0 {
+	if victim.used != 0 && victim.block != block {
 		c.evictions++
 		if c.OnEvict != nil {
-			c.OnEvict(bl[vi])
+			c.OnEvict(victim.block)
 		}
 	}
-	bl[vi] = block
-	us[vi] = c.tick
-	c.vers[base+vi] = ver
-	c.hint[si] = int32(base + vi)
+	victim.block = block
+	victim.used = c.tick
+	victim.ver = ver
+	h := &c.hints[si]
+	h.block = block
+	h.w = victim
 }
 
 // Contains reports whether a block is resident without touching LRU state.
 func (c *Cache) Contains(block uint64) bool {
-	base := int(block&c.setMask) * c.assoc
-	for i := base; i < base+c.assoc; i++ {
-		if c.blocks[i] == block {
+	set := c.sets[block&c.setMask]
+	for i := range set {
+		if set[i].block == block {
 			return true
 		}
 	}
 	return false
 }
 
-// Invalidate removes a block if present. The set's way hint may keep
-// pointing at the emptied way; hint probes verify the tag, so a stale
-// hint is harmless.
+// Invalidate removes a block if present. If the set's shadow tag named
+// this block it is cleared (a block resides in at most one way, so the
+// hint necessarily points at the emptied way); probes then fall through to
+// the scan until the next hit or install re-arms the hint.
 func (c *Cache) Invalidate(block uint64) {
-	base := int(block&c.setMask) * c.assoc
-	for i := base; i < base+c.assoc; i++ {
-		if c.blocks[i] == block {
-			c.blocks[i] = noBlock
-			c.used[i] = 0
+	si := block & c.setMask
+	if h := &c.hints[si]; h.block == block {
+		h.block = noBlock
+	}
+	set := c.sets[si]
+	for i := range set {
+		if set[i].block == block {
+			set[i].block = noBlock
+			set[i].used = 0
 			return
 		}
 	}
@@ -286,13 +292,13 @@ func (c *Cache) Invalidate(block uint64) {
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for i := range c.blocks {
-		c.blocks[i] = noBlock
-		c.used[i] = 0
-		c.vers[i] = 0
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = way{block: noBlock}
+		}
 	}
-	for i := range c.hint {
-		c.hint[i] = int32(i * c.assoc)
+	for i := range c.hints {
+		c.hints[i] = setHint{block: noBlock}
 	}
 	c.hits, c.misses, c.evictions, c.tick = 0, 0, 0, 0
 }

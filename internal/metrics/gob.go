@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// histogramWire mirrors Histogram's unexported state one-for-one so the
+// persistent result cache can round-trip histograms losslessly. Every
+// field participates: quantiles depend on the retained samples, and
+// resuming observation after a decode needs cap/stride/skip to continue
+// the decimation schedule exactly where it stopped.
+type histogramWire struct {
+	Samples []float64
+	Cap     int
+	Stride  int
+	Skip    int
+	Count   int64
+	Sum     float64
+	SumSq   float64
+	Min     float64
+	Max     float64
+}
+
+// GobEncode implements gob.GobEncoder, serializing the full histogram
+// state including the ±Inf min/max sentinels of an empty histogram.
+func (h *Histogram) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(histogramWire{
+		Samples: h.samples,
+		Cap:     h.cap,
+		Stride:  h.stride,
+		Skip:    h.skip,
+		Count:   h.count,
+		Sum:     h.sum,
+		SumSq:   h.sumSq,
+		Min:     h.min,
+		Max:     h.max,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder, replacing the receiver's state.
+func (h *Histogram) GobDecode(data []byte) error {
+	var w histogramWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	*h = Histogram{
+		samples: w.Samples,
+		cap:     w.Cap,
+		stride:  w.Stride,
+		skip:    w.Skip,
+		count:   w.Count,
+		sum:     w.Sum,
+		sumSq:   w.SumSq,
+		min:     w.Min,
+		max:     w.Max,
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+func roundTrip(t *testing.T, h *Histogram) *Histogram {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(h); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out := new(Histogram)
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func TestHistogramGobRoundTrip(t *testing.T) {
+	cases := map[string]*Histogram{
+		"empty": NewHistogram(0),
+		"small": func() *Histogram {
+			h := NewHistogram(16)
+			for i := 0; i < 10; i++ {
+				h.Observe(float64(i) * 1.5)
+			}
+			return h
+		}(),
+		"decimated": func() *Histogram {
+			// Overflow the sample cap several times so stride/skip are
+			// mid-schedule and the retained set is a strided subset.
+			h := NewHistogram(32)
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i%97) / 3)
+			}
+			return h
+		}(),
+	}
+	for name, h := range cases {
+		t.Run(name, func(t *testing.T) {
+			got := roundTrip(t, h)
+			if !reflect.DeepEqual(h, got) {
+				t.Fatalf("round trip not lossless:\n have %+v\n got  %+v", h, got)
+			}
+			// The decode must also leave the histogram usable: further
+			// observations continue the decimation schedule identically.
+			h.Observe(42)
+			got.Observe(42)
+			if !reflect.DeepEqual(h, got) {
+				t.Fatalf("post-decode Observe diverged:\n have %+v\n got  %+v", h, got)
+			}
+		})
+	}
+}
+
+func TestHistogramGobPreservesStats(t *testing.T) {
+	h := NewHistogram(64)
+	for _, v := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		h.Observe(v)
+	}
+	got := roundTrip(t, h)
+	if got.Count() != h.Count() || got.Mean() != h.Mean() ||
+		got.Stddev() != h.Stddev() || got.Min() != h.Min() || got.Max() != h.Max() {
+		t.Fatalf("summary stats changed: %+v vs %+v", got, h)
+	}
+	if got.Quantile(0.5) != h.Quantile(0.5) || got.CDFAt(4) != h.CDFAt(4) {
+		t.Fatalf("sample-derived stats changed")
+	}
+}
