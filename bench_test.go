@@ -35,7 +35,7 @@ func batchingOnce(b *testing.B) []bench.BatchingRow {
 
 func placementOnce(b *testing.B) []bench.PlacementRow {
 	b.Helper()
-	rows, err := bench.Placement()
+	rows, _, err := bench.Placement()
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -20,3 +20,15 @@ go test -race -timeout 45m ./...
 # produce byte-identical experiment tables. Run without -race so it
 # exercises the exact code the CLIs ship.
 go test -run TestColdVsWarmEquivalence -count=1 ./internal/bench/
+# Benchmark stage: produce machine-readable trajectory records for two
+# representative apps (one per engine profile). dspbench writes
+# BENCH_<app>_<system>.json next to the working directory; keep them
+# out of the tree.
+BENCH_DIR=$(mktemp -d)
+trap 'rm -rf "$BENCH_DIR"' EXIT
+go build -o "$BENCH_DIR/dspbench" ./cmd/dspbench
+(cd "$BENCH_DIR" && ./dspbench -app wc -system storm -batch 8 -quiet -json >/dev/null)
+(cd "$BENCH_DIR" && ./dspbench -app lr -system flink -batch 8 -quiet -json >/dev/null)
+for f in BENCH_wc_storm.json BENCH_lr_flink.json; do
+  test -s "$BENCH_DIR/$f" || { echo "ci: missing $f" >&2; exit 1; }
+done

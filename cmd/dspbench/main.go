@@ -38,9 +38,18 @@ func main() {
 		jobs    = flag.Int("jobs", runtime.NumCPU(), "parallel simulation cells for multi-run steps like -place")
 		cache   = flag.String("cache", "", "persistent result cache directory (results are identical with or without it)")
 		jsonOut = flag.Bool("json", false, "also write a machine-readable BENCH_<app>_<system>.json trajectory record")
+		quiet   = flag.Bool("quiet", false, "suppress the sweep progress line on stderr")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	bench.SetJobs(*jobs)
+	if *quiet {
+		bench.SetProgress(false)
+	}
+	stopProf, err := bench.StartProfiles(*cpuprof, *memprof)
+	fail(err)
+	defer stopProf()
 	if *cache != "" {
 		pruned, err := bench.EnableDiskCache(*cache)
 		fail(err)
@@ -65,19 +74,29 @@ func main() {
 		}
 	}
 	if *place {
-		topo, err := cell.Topology()
-		fail(err)
-		sys := engine.Storm()
-		if *system == "flink" {
-			sys = engine.Flink()
+		if *sockets == 4 {
+			// Model-guided search (internal/place): calibrate from a probe,
+			// rank assignments by predicted bottleneck, verify the top few.
+			ps, err := bench.SearchPlacement(*app, *system, *batch, *scale)
+			fail(err)
+			cell.Placement = bench.PlacementMap(ps.Winner)
+			fmt.Printf("placement: model-guided search, k=%d, %d plans ranked, %d verified, best %.1f k events/s\n",
+				ps.WinnerK, ps.Scored, len(ps.Verified), ps.Throughput/1e3)
+		} else {
+			topo, err := cell.Topology()
+			fail(err)
+			sys := engine.Storm()
+			if *system == "flink" {
+				sys = engine.Flink()
+			}
+			plans, err := core.PlanFor(topo, sys, *sockets, core.PlaceOptions{
+				CoresPerSocket: 8, Oversubscribe: 1.5, Balanced: true,
+			})
+			fail(err)
+			best := plans[len(plans)-1] // largest k among feasible balanced plans
+			cell.Placement = best.Placement()
+			fmt.Printf("placement: k=%d, estimated cross-socket cost %.1f\n", best.K, best.Cost)
 		}
-		plans, err := core.PlanFor(topo, sys, *sockets, core.PlaceOptions{
-			CoresPerSocket: 8, Oversubscribe: 1.5, Balanced: true,
-		})
-		fail(err)
-		best := plans[len(plans)-1] // largest k among feasible balanced plans
-		cell.Placement = best.Placement()
-		fmt.Printf("placement: k=%d, estimated cross-socket cost %.1f\n", best.K, best.Cost)
 	}
 
 	res, err := bench.Run(cell)

@@ -94,11 +94,12 @@ func experiments() []experiment {
 			return bench.Fig12Table(rows) + "\n" + bench.Fig13Table(rows), nil
 		}},
 		{"fig14", "NUMA-aware placement and combined optimizations", func() (string, error) {
-			rows, err := bench.Placement()
+			rows, val, err := bench.Placement()
 			if err != nil {
 				return "", err
 			}
-			return bench.Fig14Table(rows) + "\n" + bench.Fig15Table(rows), nil
+			return bench.Fig14Table(rows) + "\n" + bench.Fig15Table(rows) +
+				"\n" + bench.ModelValidationTable(val), nil
 		}},
 		{"gc", "G1 vs parallelGC overhead (§V-D)", func() (string, error) {
 			rows, err := bench.GCStudy(apps.BenchmarkNames())
@@ -228,7 +229,7 @@ func writeCSVs(dir string) error {
 	if err := save("fig12_13", func(w *os.File) error { return bench.BatchingCSV(w, batching) }); err != nil {
 		return err
 	}
-	placement, err := bench.Placement()
+	placement, _, err := bench.Placement()
 	if err != nil {
 		return err
 	}
@@ -241,14 +242,26 @@ func writeCSVs(dir string) error {
 //dsplint:wallclock
 func main() {
 	var (
-		pick   = flag.String("experiment", "", "experiment ID to run (default: all)")
-		list   = flag.Bool("list", false, "list experiment IDs")
-		csvDir = flag.String("csv", "", "also write plot-ready CSV files into this directory")
-		jobs   = flag.Int("jobs", runtime.NumCPU(), "parallel simulation cells per sweep (results are identical at any value)")
-		cache  = flag.String("cache", "", "persistent result cache directory (results are identical with or without it; stale builds' entries are pruned)")
+		pick       = flag.String("experiment", "", "experiment ID to run (default: all)")
+		list       = flag.Bool("list", false, "list experiment IDs")
+		csvDir     = flag.String("csv", "", "also write plot-ready CSV files into this directory")
+		jobs       = flag.Int("jobs", runtime.NumCPU(), "parallel simulation cells per sweep (results are identical at any value)")
+		cache      = flag.String("cache", "", "persistent result cache directory (results are identical with or without it; stale builds' entries are pruned)")
+		quiet      = flag.Bool("quiet", false, "suppress the sweep progress line on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	bench.SetJobs(*jobs)
+	if *quiet {
+		bench.SetProgress(false)
+	}
+	stopProf, err := bench.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dspreport:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	if *cache != "" {
 		pruned, err := bench.EnableDiskCache(*cache)
 		if err != nil {

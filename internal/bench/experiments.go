@@ -507,68 +507,16 @@ type PlacementRow struct {
 	BestK int
 }
 
-// bestPlacement computes plans for k=1..4 and selects the one with the
-// highest simulated throughput, as §VI-B does ("we test and select the
-// plan with the best performance").
-func bestPlacement(app, system string, batch, scale int) (map[int]int, int, float64, error) {
-	seed := int64(1)
-	topo, err := apps.Build(app, apps.Config{Events: Cell{App: app}.Events(), Seed: seed, Scale: scale})
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	sys, err := systemProfile(system)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	// Candidates: both balanced and communication-greedy plans per k; the
-	// paper's §VI-B selection keeps whichever performs best. Either mode
-	// may be infeasible for very wide graphs; at least one must yield
-	// plans (balanced always does).
-	var plans []*core.Plan
-	for _, balanced := range []bool{true, false} {
-		ps, err := core.PlanFor(topo, sys, 4, core.PlaceOptions{
-			CoresPerSocket: 8, Oversubscribe: 1.5, Balanced: balanced,
-		})
-		if err != nil {
-			continue
-		}
-		plans = append(plans, ps...)
-	}
-	if len(plans) == 0 {
-		return nil, 0, 0, fmt.Errorf("no feasible placement plans")
-	}
-	// Evaluate all candidate plans concurrently; selection scans in plan
-	// order with a strict improvement test, so the winner (first maximum)
-	// matches the sequential loop exactly.
-	cells := make([]Cell, len(plans))
-	for i, p := range plans {
-		cells[i] = Cell{
-			App: app, System: system, Sockets: 4, Scale: scale,
-			BatchSize: batch, Placement: p.Placement(),
-		}
-	}
-	results, err := runCells(cells)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	bestTp := -1.0
-	var bestPlan *core.Plan
-	for i, p := range plans {
-		if tp := results[i].Res.Throughput().PerSecond(); tp > bestTp {
-			bestTp = tp
-			bestPlan = p
-		}
-	}
-	return bestPlan.Placement(), bestPlan.K, bestTp, nil
-}
-
 // Placement runs the Fig 14 and Fig 15 studies: single socket, four
 // sockets unoptimized, four sockets with NUMA-aware placement, and four
 // sockets with placement plus batching (S = core.DefaultBatchSize).
-func Placement() ([]PlacementRow, error) {
+// Placement plans come from the model-guided search (placement.go); the
+// second return value carries its predicted-vs-simulated validation rows.
+func Placement() ([]PlacementRow, []ModelValidationRow, error) {
 	// The unplaced baselines for every (app, system) are independent:
 	// batch them through the pool, then derive each row's placement plans
-	// (bestPlacement fans its candidate evaluations out internally).
+	// (SearchPlacement fans its verification runs out internally, and its
+	// probe memo-shares with the four-socket baseline run here).
 	var cells []Cell
 	for _, app := range apps.BenchmarkNames() {
 		for _, sys := range Systems {
@@ -579,34 +527,37 @@ func Placement() ([]PlacementRow, error) {
 	}
 	results, err := runCells(cells)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []PlacementRow
+	var val []ModelValidationRow
 	i := 0
 	for _, app := range apps.BenchmarkNames() {
 		for _, sys := range Systems {
 			one, four := results[i].Res, results[i+1].Res
 			i += 2
-			_, k, placedTp, err := bestPlacement(app, sys, 1, 4)
+			placed, err := SearchPlacement(app, sys, 1, 4)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s placement: %w", app, sys, err)
+				return nil, nil, fmt.Errorf("%s/%s placement: %w", app, sys, err)
 			}
-			_, _, combTp, err := bestPlacement(app, sys, core.DefaultBatchSize, 4)
+			comb, err := SearchPlacement(app, sys, core.DefaultBatchSize, 4)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s combined: %w", app, sys, err)
+				return nil, nil, fmt.Errorf("%s/%s combined: %w", app, sys, err)
 			}
 			base := four.Throughput().PerSecond()
 			out = append(out, PlacementRow{
 				App: app, System: sys,
 				SingleSocket: one.Throughput().PerSecond() / base,
 				FourSockets:  1,
-				Placed:       placedTp / base,
-				Combined:     combTp / base,
-				BestK:        k,
+				Placed:       placed.Throughput / base,
+				Combined:     comb.Throughput / base,
+				BestK:        placed.WinnerK,
 			})
+			val = append(val, validationRow(placed, comb))
 		}
 	}
-	return out, nil
+	sortValidation(val)
+	return out, val, nil
 }
 
 // Fig14Table renders the placement-only comparison.
@@ -762,13 +713,16 @@ func HugePagesTable(rows []HugePagesRow) string {
 // PlacementAblationRow compares placement strategies on four sockets.
 type PlacementAblationRow struct {
 	App, System string
-	// Normalized to OS-spread (no placement).
-	RoundRobin float64
-	MinKCut    float64
+	// Normalized to OS-spread (no placement). MinKCut is the best
+	// simulated min-k-cut seed plan; ModelSearch the model-guided search
+	// winner (never worse: the seeds are in its verification pool).
+	RoundRobin  float64
+	MinKCut     float64
+	ModelSearch float64
 }
 
-// PlacementAblation compares the min-k-cut placement against round-robin
-// and unplaced baselines.
+// PlacementAblation compares the model-guided placement search against
+// min-k-cut, round-robin, and unplaced baselines.
 func PlacementAblation(appNames []string) ([]PlacementAblationRow, error) {
 	// Plan construction is cheap and stays sequential; the baseline and
 	// round-robin runs for every (app, system) batch through the pool.
@@ -800,15 +754,16 @@ func PlacementAblation(appNames []string) ([]PlacementAblationRow, error) {
 		for _, sys := range Systems {
 			base, rrRes := results[i].Res, results[i+1].Res
 			i += 2
-			_, _, bestTp, err := bestPlacement(app, sys, 1, 4)
+			ps, err := SearchPlacement(app, sys, 1, 4)
 			if err != nil {
 				return nil, err
 			}
 			b := base.Throughput().PerSecond()
 			out = append(out, PlacementAblationRow{
 				App: app, System: sys,
-				RoundRobin: rrRes.Throughput().PerSecond() / b,
-				MinKCut:    bestTp / b,
+				RoundRobin:  rrRes.Throughput().PerSecond() / b,
+				MinKCut:     ps.bestVerifiedSeed() / b,
+				ModelSearch: ps.Throughput / b,
 			})
 		}
 	}
@@ -819,10 +774,10 @@ func PlacementAblation(appNames []string) ([]PlacementAblationRow, error) {
 func PlacementAblationTable(rows []PlacementAblationRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Ablation — placement strategy vs OS-spread baseline (4 sockets)\n")
-	fmt.Fprintf(&b, "%-6s %-6s %12s %12s\n", "sys", "app", "round-robin", "min-k-cut")
+	fmt.Fprintf(&b, "%-6s %-6s %12s %12s %12s\n", "sys", "app", "round-robin", "min-k-cut", "model-search")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-6s %-6s %11.0f%% %11.0f%%\n",
-			r.System, r.App, r.RoundRobin*100, r.MinKCut*100)
+		fmt.Fprintf(&b, "%-6s %-6s %11.0f%% %11.0f%% %11.0f%%\n",
+			r.System, r.App, r.RoundRobin*100, r.MinKCut*100, r.ModelSearch*100)
 	}
 	return b.String()
 }

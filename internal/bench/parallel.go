@@ -44,11 +44,13 @@ func RunCells(cells []Cell, jobs int) ([]CellResult, error) {
 	if jobs > len(cells) {
 		jobs = len(cells)
 	}
+	meter := newProgressMeter(len(cells))
 	if jobs <= 1 {
 		for i, c := range cells {
 			res, err := Run(c)
 			out[i] = CellResult{Cell: c, Res: res}
 			errs[i] = err
+			meter.tick()
 		}
 	} else {
 		var cursor atomic.Int64
@@ -65,11 +67,13 @@ func RunCells(cells []Cell, jobs int) ([]CellResult, error) {
 					res, err := Run(cells[i])
 					out[i] = CellResult{Cell: cells[i], Res: res}
 					errs[i] = err
+					meter.tick()
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	meter.finish()
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", cells[i].App, cells[i].System, err)

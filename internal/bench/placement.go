@@ -1,0 +1,447 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"streamscale/internal/apps"
+	"streamscale/internal/core"
+	"streamscale/internal/hw"
+	"streamscale/internal/place"
+)
+
+// The model-guided placement flow (§VI-B, BriskStream-style): one probe
+// simulation per (app, system) — the unplaced four-socket baseline every
+// placement row already needs, so it is memo-shared and costs nothing
+// extra — calibrates an analytical cost model (internal/place). A
+// deterministic branch-and-bound search then ranks full per-executor
+// assignments, with the k=1..4 min-k-cut plans seeded into the pool, and
+// only the handful of top-ranked plans are verified by full simulation.
+// The previous flow simulated every candidate plan at both batch sizes.
+
+// verifyTop is how many model-ranked plans are fully simulated per search
+// (the best-ranked min-k-cut seed is verified in addition when it is not
+// already among them). verifyTopBatched applies to batched (S>1)
+// searches, whose ranking reuses the batch-adjusted model; those get one
+// more slot because the batch adjustment is analytical (no batched probe)
+// and its ranking is correspondingly less sharp. Batched searches over
+// workloads with a deep seed pool (>= extraSeedMinSeeds distinct min-k-cut
+// plans) verify one additional seed — the most concentrated unverified one
+// — because crowding plans are exactly where the model's oversubscription
+// term is an approximation of the scheduler.
+//
+// batchedTierEps groups batched scores that agree to within 0.5% into one
+// rank tier: that is below the batch-adjusted model's resolution. Within a
+// tier the simulator is not indifferent even though the model is — see
+// the socket-spread tie-break in SearchPlacement. Batch-1 rankings use
+// exact-score tiers only: the probe measured that batch size directly, so
+// its scores are trusted.
+const (
+	verifyTop         = 2
+	verifyTopBatched  = 3
+	extraSeedMinSeeds = 6
+	batchedTierEps    = 0.005
+)
+
+// PlanVerification is one plan that was both model-scored and fully
+// simulated during a placement search.
+type PlanVerification struct {
+	// Assign is the per-executor socket assignment exactly as simulated:
+	// search plans are canonical, seed plans keep their original labels
+	// (the simulated machine is not label symmetric).
+	Assign []int
+	// Predicted is the model's throughput estimate (events/s).
+	Predicted float64
+	// Measured is the simulated throughput (events/s).
+	Measured float64
+	// Seed marks plans that came from the min-k-cut seed set.
+	Seed bool
+}
+
+// PlacementSearch is the outcome of one model-guided placement search for
+// one (app, system, batch) row.
+type PlacementSearch struct {
+	App, System string
+	Batch       int
+
+	// Winner is the verified assignment with the highest measured
+	// throughput; ties break to the lexicographically smallest assignment.
+	Winner []int
+	// WinnerK is the number of distinct sockets the winner uses.
+	WinnerK int
+	// Throughput is the winner's measured throughput (events/s).
+	Throughput float64
+
+	// Verified lists the simulated plans in model-rank order.
+	Verified []PlanVerification
+	// Scored is how many distinct plans the model ranked (the candidate
+	// pool: B&B results merged with the seeds).
+	Scored int
+	// Seeds is how many distinct min-k-cut seed plans entered the pool.
+	Seeds int
+}
+
+// SearchPlacement runs the model-guided search for one row: calibrate
+// from the probe, rank candidates, verify the top few by simulation, and
+// select the measured best.
+func SearchPlacement(app, system string, batch, scale int) (*PlacementSearch, error) {
+	topo, err := apps.Build(app, apps.Config{Events: Cell{App: app}.Events(), Seed: 1, Scale: scale})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := systemProfile(system)
+	if err != nil {
+		return nil, err
+	}
+
+	// Seed plans: the min-k-cut candidates of the previous flow, in both
+	// balance modes. They enter the ranked pool, so the search can never
+	// select a plan the model scores worse than every seed. Seeds keep
+	// their ORIGINAL socket labels: the simulated machine is not label
+	// symmetric (socket 0 hosts setup-time first-touch allocations), so a
+	// relabeled plan is a physically different — and often slower — run,
+	// and the old flow measured the original labels.
+	var seeds [][]int
+	seenSeed := make(map[string]bool)
+	for _, balanced := range []bool{true, false} {
+		ps, err := core.PlanFor(topo, sys, 4, core.PlaceOptions{
+			CoresPerSocket: 8, Oversubscribe: 1.5, Balanced: balanced,
+		})
+		if err != nil {
+			continue
+		}
+		for _, p := range ps {
+			if k := assignString(p.Assign); !seenSeed[k] {
+				seenSeed[k] = true
+				seeds = append(seeds, p.Assign)
+			}
+		}
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no feasible placement plans")
+	}
+
+	// Probe: the unplaced four-socket baseline at batch 1 — identical to
+	// the Fig 14 normalization cell, so the memo layer shares it.
+	probeRes, err := Run(Cell{App: app, System: system, Sockets: 4, Scale: scale, BatchSize: 1})
+	if err != nil {
+		return nil, err
+	}
+	model, err := place.Calibrate(probeRes, hw.TableIII(), sys, 1)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate %s/%s: %w", app, system, err)
+	}
+	if model.N() != len(seeds[0]) {
+		return nil, fmt.Errorf("model has %d executors, plans have %d", model.N(), len(seeds[0]))
+	}
+	if batch > 1 {
+		// Analytical batch adjustment: no second probe needed.
+		model = model.WithBatch(batch)
+	}
+
+	cands := model.Search(place.SearchOptions{
+		TopM: 8, Workers: Jobs(), Seeds: seeds,
+	})
+
+	// Merge the ranked pool: seeds (original labels) plus search plans
+	// (canonical labels), with search plans that duplicate a seed's
+	// partition dropped — the seed's labeling carries the measurement.
+	seedPartition := make(map[string]bool, len(seeds))
+	for _, s := range seeds {
+		seedPartition[assignString(place.Canonical(s))] = true
+	}
+	type scoredPlan struct {
+		assign  []int
+		score   float64
+		seed    bool
+		k, tier int
+	}
+	var merged []scoredPlan
+	for _, s := range seeds {
+		merged = append(merged, scoredPlan{assign: s, score: model.Bottleneck(s), seed: true})
+	}
+	for _, c := range cands {
+		if !seedPartition[assignString(c.Assign)] {
+			merged = append(merged, scoredPlan{assign: c.Assign, score: c.Score})
+		}
+	}
+	for i := range merged {
+		merged[i].k = distinctSockets(merged[i].assign)
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].score != merged[j].score {
+			return merged[i].score < merged[j].score
+		}
+		return place.Less(merged[i].assign, merged[j].assign)
+	})
+	// Tier the ranking: scores within the model's resolution of the tier's
+	// best are one tier (exact at batch 1, batchedTierEps at S>1). Within a
+	// tier the model cannot order, but the simulator is not indifferent:
+	// systems that track progress with per-tuple acks (storm) route every
+	// ack through the socket-0 acker and reward concentration, so their
+	// ties prefer FEWER distinct sockets; barrier-based systems (flink)
+	// are bound by aggregate LLC capacity and DRAM channels — which the
+	// per-socket bounds do not price — and reward spread, so their ties
+	// prefer MORE.
+	spreadTies := !sys.AckEnabled
+	eps := 0.0
+	if batch > 1 {
+		eps = batchedTierEps
+	}
+	tierBest := 0.0
+	for i := range merged {
+		if i == 0 || merged[i].score > tierBest*(1+eps) {
+			tierBest = merged[i].score
+			merged[i].tier = i
+		} else {
+			merged[i].tier = merged[i-1].tier
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].tier != merged[j].tier {
+			return merged[i].tier < merged[j].tier
+		}
+		if merged[i].k != merged[j].k {
+			if spreadTies {
+				return merged[i].k > merged[j].k
+			}
+			return merged[i].k < merged[j].k
+		}
+		return place.Less(merged[i].assign, merged[j].assign)
+	})
+
+	// Verification set: the top-ranked plans, with the last slot reserved
+	// for the best-ranked seed when none ranked on its own — the min-k-cut
+	// comparison always has a measured anchor, and the winner can never be
+	// worse than that seed's simulated throughput.
+	top := verifyTop
+	if batch > 1 {
+		top = verifyTopBatched
+	}
+	if top > len(merged) {
+		top = len(merged)
+	}
+	verify := append([]scoredPlan(nil), merged[:top]...)
+	hasSeed := false
+	for _, c := range verify {
+		hasSeed = hasSeed || c.seed
+	}
+	if !hasSeed {
+		for _, c := range merged[top:] {
+			if c.seed {
+				verify[len(verify)-1] = c
+				break
+			}
+		}
+	}
+	if batch > 1 && len(seeds) >= extraSeedMinSeeds {
+		// Extra slot: the most concentrated seed not already verified
+		// (fewest distinct sockets, ranked order breaking ties).
+		inVerify := make(map[string]bool, len(verify))
+		for _, c := range verify {
+			inVerify[assignString(c.assign)] = true
+		}
+		extra := -1
+		for i, c := range merged {
+			if !c.seed || inVerify[assignString(c.assign)] {
+				continue
+			}
+			if extra < 0 || c.k < merged[extra].k {
+				extra = i
+			}
+		}
+		if extra >= 0 {
+			verify = append(verify, merged[extra])
+		}
+	}
+
+	// Simulate the verification set through the memoized pool.
+	cells := make([]Cell, len(verify))
+	for i, c := range verify {
+		cells[i] = Cell{
+			App: app, System: system, Sockets: 4, Scale: scale,
+			BatchSize: batch, Placement: asPlacementMap(c.assign),
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &PlacementSearch{
+		App: app, System: system, Batch: batch,
+		Scored: len(merged), Seeds: len(seeds),
+	}
+	for i, c := range verify {
+		out.Verified = append(out.Verified, PlanVerification{
+			Assign:    c.assign,
+			Predicted: model.PredictThroughput(c.assign),
+			Measured:  results[i].Res.Throughput().PerSecond(),
+			Seed:      c.seed,
+		})
+	}
+	best := pickWinner(out.Verified)
+	out.Winner = out.Verified[best].Assign
+	out.WinnerK = distinctSockets(out.Winner)
+	out.Throughput = out.Verified[best].Measured
+	return out, nil
+}
+
+// pickWinner selects the measured-best verified plan; throughput ties
+// break to the lexicographically smallest assignment, so plan enumeration
+// order can never leak into the selection.
+func pickWinner(verified []PlanVerification) int {
+	best := 0
+	for i := 1; i < len(verified); i++ {
+		v, b := &verified[i], &verified[best]
+		if v.Measured > b.Measured ||
+			(v.Measured == b.Measured && place.Less(v.Assign, b.Assign)) {
+			best = i
+		}
+	}
+	return best
+}
+
+// bestPlacement preserves the previous flow's signature: the winning
+// placement map, its socket count, and its measured throughput.
+func bestPlacement(app, system string, batch, scale int) (map[int]int, int, float64, error) {
+	ps, err := SearchPlacement(app, system, batch, scale)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return asPlacementMap(ps.Winner), ps.WinnerK, ps.Throughput, nil
+}
+
+// bestVerifiedSeed returns the best measured throughput among verified
+// min-k-cut seed plans (at least one is always verified).
+func (ps *PlacementSearch) bestVerifiedSeed() float64 {
+	best := 0.0
+	for _, v := range ps.Verified {
+		if v.Seed && v.Measured > best {
+			best = v.Measured
+		}
+	}
+	return best
+}
+
+// PlacementMap converts a per-executor assignment slice to the Cell
+// placement map form (global executor index -> socket).
+func PlacementMap(assign []int) map[int]int { return asPlacementMap(assign) }
+
+func asPlacementMap(assign []int) map[int]int {
+	m := make(map[int]int, len(assign))
+	for g, s := range assign {
+		m[g] = s
+	}
+	return m
+}
+
+func assignString(assign []int) string {
+	var sb strings.Builder
+	sb.Grow(2 * len(assign))
+	for i, s := range assign {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", s)
+	}
+	return sb.String()
+}
+
+func distinctSockets(assign []int) int {
+	seen := make(map[int]bool, 4)
+	for _, s := range assign {
+		seen[s] = true
+	}
+	return len(seen)
+}
+
+// --- Model validation: predicted vs simulated -----------------------------
+
+// ModelValidationRow summarizes how well the cost model ranked plans for
+// one (app, system) row across its batch-1 and batched searches.
+type ModelValidationRow struct {
+	App, System string
+	// Plans is how many distinct plans the model ranked; Verified how
+	// many were fully simulated; Avoided the difference.
+	Plans, Verified, Avoided int
+	// RankTau is the Kendall rank correlation between model rank and
+	// measured rank over the verified plans (pairs within one search).
+	RankTau float64
+	// MeanErr is the mean relative error of predicted vs measured
+	// throughput over the verified plans.
+	MeanErr float64
+}
+
+// validationRow folds one row's searches into its validation summary.
+func validationRow(searches ...*PlacementSearch) ModelValidationRow {
+	row := ModelValidationRow{App: searches[0].App, System: searches[0].System}
+	conc, disc := 0, 0
+	var errSum float64
+	var errN int
+	for _, ps := range searches {
+		row.Plans += ps.Scored
+		row.Verified += len(ps.Verified)
+		// Verified is in model-rank order: count pairwise agreements with
+		// the measured order.
+		for i := 0; i < len(ps.Verified); i++ {
+			for j := i + 1; j < len(ps.Verified); j++ {
+				mi, mj := ps.Verified[i].Measured, ps.Verified[j].Measured
+				switch {
+				case mi > mj:
+					conc++
+				case mi < mj:
+					disc++
+				}
+			}
+		}
+		for _, v := range ps.Verified {
+			if v.Measured > 0 {
+				d := (v.Predicted - v.Measured) / v.Measured
+				if d < 0 {
+					d = -d
+				}
+				errSum += d
+				errN++
+			}
+		}
+	}
+	row.Avoided = row.Plans - row.Verified
+	if conc+disc > 0 {
+		row.RankTau = float64(conc-disc) / float64(conc+disc)
+	}
+	if errN > 0 {
+		row.MeanErr = errSum / float64(errN)
+	}
+	return row
+}
+
+// ModelValidationTable renders the model-vs-simulated validation section.
+func ModelValidationTable(rows []ModelValidationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Model validation — placement cost model vs full simulation (verified plans)\n")
+	fmt.Fprintf(&b, "%-6s %-6s %7s %9s %8s %9s %9s\n",
+		"sys", "app", "ranked", "verified", "avoided", "rank-tau", "mean-err")
+	for _, sys := range Systems {
+		for _, r := range rows {
+			if r.System != sys {
+				continue
+			}
+			fmt.Fprintf(&b, "%-6s %-6s %7d %9d %8d %9.2f %8.1f%%\n",
+				r.System, r.App, r.Plans, r.Verified, r.Avoided, r.RankTau, r.MeanErr*100)
+		}
+	}
+	return b.String()
+}
+
+// sortValidation orders rows deterministically (app within system handled
+// by the table; this orders the backing slice by app, then system).
+func sortValidation(rows []ModelValidationRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].App != rows[j].App {
+			return rows[i].App < rows[j].App
+		}
+		return rows[i].System < rows[j].System
+	})
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Sweep progress is presentation-only: a single updating stderr line with
+// done/total, elapsed time, and an ETA. It reads the wall clock and never
+// feeds back into simulation results. The line is emitted only when stderr
+// is a terminal (redirected runs and CI logs stay clean) and can be
+// silenced explicitly with the CLIs' -quiet flag via SetProgress.
+
+var progressOn atomic.Bool
+
+func init() { progressOn.Store(stderrIsTTY()) }
+
+// SetProgress enables or disables the sweep progress line. Enabling it
+// still requires stderr to be a terminal.
+func SetProgress(on bool) { progressOn.Store(on && stderrIsTTY()) }
+
+func stderrIsTTY() bool {
+	st, err := os.Stderr.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
+}
+
+// progressMeter tracks one RunCells sweep. Completions arrive from many
+// workers; prints are throttled and serialized through a CAS on lastPrint.
+type progressMeter struct {
+	total int
+	start time.Time
+	done  atomic.Int64
+	// lastPrint is unix nanos of the most recent line, 0 before the first.
+	lastPrint atomic.Int64
+}
+
+const progressEvery = 200 * time.Millisecond
+
+//dsplint:wallclock
+func newProgressMeter(total int) *progressMeter {
+	if !progressOn.Load() || total < 2 {
+		return nil
+	}
+	return &progressMeter{total: total, start: time.Now()}
+}
+
+// tick records one finished cell and redraws the line when due. Nil
+// receivers are no-ops so call sites stay unconditional.
+//
+//dsplint:wallclock
+func (p *progressMeter) tick() {
+	if p == nil {
+		return
+	}
+	n := p.done.Add(1)
+	now := time.Now()
+	last := p.lastPrint.Load()
+	if n < int64(p.total) && now.UnixNano()-last < int64(progressEvery) {
+		return
+	}
+	if !p.lastPrint.CompareAndSwap(last, now.UnixNano()) {
+		return // another worker is printing this interval
+	}
+	elapsed := now.Sub(p.start)
+	eta := "--"
+	if n > 0 {
+		rem := time.Duration(float64(elapsed) / float64(n) * float64(int64(p.total)-n))
+		eta = rem.Round(time.Second).String()
+	}
+	fmt.Fprintf(os.Stderr, "\r\x1b[K%d/%d cells  elapsed %s  eta %s",
+		n, p.total, elapsed.Round(time.Second), eta)
+}
+
+// finish clears the progress line so subsequent output starts clean.
+func (p *progressMeter) finish() {
+	if p == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "\r\x1b[K")
+}

@@ -1,0 +1,88 @@
+package bench
+
+import "testing"
+
+// Golden-file tests for the placement table renderers: the format strings
+// are load-bearing (report_output.txt is diffed byte-for-byte across
+// runs), so pin their exact output on literal rows — no simulation.
+
+var goldenPlacementRows = []PlacementRow{
+	{App: "wc", System: "storm", SingleSocket: 0.3012, FourSockets: 1, Placed: 1.2149, Combined: 4.018, BestK: 1},
+	{App: "lr", System: "flink", SingleSocket: 0.2598, FourSockets: 1, Placed: 1.0349, Combined: 3.501, BestK: 4},
+}
+
+func TestFig14TableGolden(t *testing.T) {
+	want := "" +
+		"Fig 14 — NUMA-aware executor placement (normalized to 4 sockets w/o optimizations)\n" +
+		"sys    app      1 socket  4 sockets    4s+placed  bestK\n" +
+		"storm  wc            30%       100%         121%      1\n" +
+		"flink  lr            26%       100%         103%      4\n"
+	if got := Fig14Table(goldenPlacementRows); got != want {
+		t.Errorf("Fig14Table drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFig15TableGolden(t *testing.T) {
+	want := "" +
+		"Fig 15 — both optimizations (batching S=8 + placement), normalized to 4 sockets w/o optimizations\n" +
+		"sys    app      1 socket  4 sockets      4s+both\n" +
+		"storm  wc            30%       100%         402%\n" +
+		"flink  lr            26%       100%         350%\n"
+	if got := Fig15Table(goldenPlacementRows); got != want {
+		t.Errorf("Fig15Table drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPlacementAblationTableGolden(t *testing.T) {
+	rows := []PlacementAblationRow{
+		{App: "wc", System: "storm", RoundRobin: 0.9412, MinKCut: 1.2149, ModelSearch: 1.2653},
+		{App: "wc", System: "flink", RoundRobin: 0.9876, MinKCut: 1.1098, ModelSearch: 1.1098},
+	}
+	want := "" +
+		"Ablation — placement strategy vs OS-spread baseline (4 sockets)\n" +
+		"sys    app     round-robin    min-k-cut model-search\n" +
+		"storm  wc              94%         121%         127%\n" +
+		"flink  wc              99%         111%         111%\n"
+	if got := PlacementAblationTable(rows); got != want {
+		t.Errorf("PlacementAblationTable drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestModelValidationTableGolden(t *testing.T) {
+	rows := []ModelValidationRow{
+		{App: "wc", System: "storm", Plans: 16, Verified: 5, Avoided: 11, RankTau: 1, MeanErr: 0.123},
+		{App: "lr", System: "flink", Plans: 14, Verified: 5, Avoided: 9, RankTau: -0.5, MeanErr: 0.049},
+	}
+	want := "" +
+		"Model validation — placement cost model vs full simulation (verified plans)\n" +
+		"sys    app     ranked  verified  avoided  rank-tau  mean-err\n" +
+		"storm  wc          16         5       11      1.00     12.3%\n" +
+		"flink  lr          14         5        9     -0.50      4.9%\n"
+	if got := ModelValidationTable(rows); got != want {
+		t.Errorf("ModelValidationTable drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// The winner tie-break is part of the determinism contract: equal measured
+// throughput resolves to the lexicographically smallest canonical
+// assignment regardless of verification order.
+func TestPickWinnerTieBreak(t *testing.T) {
+	verified := []PlanVerification{
+		{Assign: []int{0, 1, 1, 2}, Measured: 500},
+		{Assign: []int{0, 0, 1, 2}, Measured: 500},
+		{Assign: []int{0, 1, 2, 3}, Measured: 400},
+	}
+	if got := pickWinner(verified); got != 1 {
+		t.Errorf("pickWinner = %d, want 1 (lexicographically smallest among tied)", got)
+	}
+	// Order independence: reversing the tied pair must select the same plan.
+	verified[0], verified[1] = verified[1], verified[0]
+	if got := pickWinner(verified); got != 0 {
+		t.Errorf("pickWinner after swap = %d, want 0 (same plan)", got)
+	}
+	// A strictly better measurement beats the tie-break.
+	verified[2].Measured = 600
+	if got := pickWinner(verified); got != 2 {
+		t.Errorf("pickWinner = %d, want 2 (highest measured)", got)
+	}
+}

@@ -59,9 +59,15 @@ func TestResultCodecRoundTrip(t *testing.T) {
 		MinorGCs:       42,
 		GCShare:        0.07,
 		Executors: []ExecStat{
-			{Op: "split", Index: 0, Socket: 0, Tuples: 61000, MeanTupleMs: 0.02},
-			{Op: "split", Index: 1, Socket: 1, Tuples: 59001, MeanTupleMs: 0.021},
+			{Op: "split", Index: 0, Socket: 0, Tuples: 61000, MeanTupleMs: 0.02,
+				Invocations: 6100, Costs: sampleProfile(4).Costs},
+			{Op: "split", Index: 1, Socket: 1, Tuples: 59001, MeanTupleMs: 0.021,
+				Invocations: 5900, Costs: sampleProfile(6).Costs},
 			{Op: "count", Index: 0, Socket: -1, Tuples: 120001, MeanTupleMs: 0.005},
+		},
+		Edges: []EdgeStat{
+			{From: 0, To: 2, Msgs: 6100, Tuples: 61000, Bytes: 2440000},
+			{From: 1, To: 2, Msgs: 5900, Tuples: 59001, Bytes: 2360040},
 		},
 	}
 

@@ -21,6 +21,7 @@ type simEdge struct {
 // delivery is one routed message awaiting space in a consumer queue.
 type delivery struct {
 	q   *simQueue
+	to  int // consumer executor global index, for the edge-traffic account
 	msg Msg
 }
 
@@ -443,8 +444,9 @@ func (e *simExecutor) routeBuffer(stream string, buf []Tuple) {
 					e.accumAck(b.Tuples[i].Root, edge)
 				}
 			}
+			c := ed.consumers[b.Consumer]
 			e.pending = append(e.pending, delivery{
-				q: ed.consumers[b.Consumer].in,
+				q: c.in, to: c.global,
 				msg: Msg{
 					FromGlobal: e.global, FromOp: e.node.Name,
 					Stream: stream, Batch: b.Tuples,
@@ -499,6 +501,7 @@ func (e *simExecutor) flushPending() bool {
 			bytes += int(d.msg.Batch[i].Size)
 		}
 		e.compute(sys.DeliveryUops+int(float64(bytes)*sys.DeliveryUopsPerByte), 3)
+		e.rt.noteDelivery(e.global, d.to, len(d.msg.Batch), bytes)
 		e.pending = e.pending[1:]
 	}
 	e.pending = nil
@@ -518,7 +521,7 @@ func (e *simExecutor) beginFinish() (sim.Cycles, sim.Disposition) {
 		for _, ed := range e.edges[s.Name] {
 			for _, c := range ed.consumers {
 				e.pending = append(e.pending, delivery{
-					q:   c.in,
+					q: c.in, to: c.global,
 					msg: Msg{FromGlobal: e.global, FromOp: e.node.Name, Stream: s.Name, EOS: true},
 				})
 			}
@@ -557,7 +560,7 @@ func (e *simExecutor) broadcastBarrier(id int64) {
 		for _, ed := range e.edges[s.Name] {
 			for _, c := range ed.consumers {
 				e.pending = append(e.pending, delivery{
-					q:   c.in,
+					q: c.in, to: c.global,
 					msg: Msg{FromGlobal: e.global, FromOp: e.node.Name, Stream: s.Name, Barrier: id},
 				})
 			}

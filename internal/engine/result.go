@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"streamscale/internal/hw"
 	"streamscale/internal/metrics"
 	"streamscale/internal/profiler"
 	"streamscale/internal/sim"
@@ -18,6 +19,31 @@ type ExecStat struct {
 	// MeanTupleMs is the mean processing time charged per tuple
 	// (simulated runtime only) — the paper's Fig 10 "process latency".
 	MeanTupleMs float64
+	// Invocations counts executor invocations (framework dispatches).
+	Invocations int64
+	// Costs is this executor's share of the run's Table II cycle account
+	// (sim only). Summing Costs over Executors reproduces Profile.Costs;
+	// the placement cost model calibrates per-executor compute demand and
+	// memory-stall composition from it.
+	Costs hw.CostVec
+}
+
+// Profile returns the executor's cycle account as a profiler.Profile, so
+// per-executor breakdowns render exactly like the global ones.
+func (e *ExecStat) Profile() *profiler.Profile { return profiler.FromCosts(e.Costs) }
+
+// EdgeStat aggregates the traffic one producer executor delivered to one
+// consumer executor's input queue (sim only). Executors are identified by
+// global index (see ExecGraph); Bytes counts tuple payload. The placement
+// cost model calibrates per-edge communication volumes from these.
+type EdgeStat struct {
+	From, To int
+	// Msgs is delivered messages (batches; EOS and barriers included).
+	Msgs int64
+	// Tuples is delivered data tuples.
+	Tuples int64
+	// Bytes is delivered tuple payload bytes.
+	Bytes int64
 }
 
 // Result is the outcome of one topology run on either runtime.
@@ -63,6 +89,10 @@ type Result struct {
 	GCShare  float64
 
 	Executors []ExecStat
+	// Edges is the per-edge delivered-traffic account (sim only), sorted
+	// by (From, To). Together with Executors' Costs it is the calibration
+	// input for the placement cost model (internal/place).
+	Edges []EdgeStat
 }
 
 // Throughput returns source events per second.

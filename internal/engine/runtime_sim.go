@@ -157,6 +157,25 @@ type simRuntime struct {
 	sourceEvents int64
 	sinkEvents   int64
 	enabledCores []int
+
+	// edgeTraffic accumulates delivered traffic per (producer, consumer)
+	// executor pair. The kernel runs every executor on one goroutine, so a
+	// plain map is race-free; extraction into Result.Edges sorts the keys.
+	edgeTraffic map[[2]int]*EdgeStat
+}
+
+// noteDelivery records one successfully enqueued message on the edge
+// (from, to), with its data-tuple count and payload bytes.
+func (rt *simRuntime) noteDelivery(from, to, tuples, bytes int) {
+	key := [2]int{from, to}
+	es := rt.edgeTraffic[key]
+	if es == nil {
+		es = &EdgeStat{From: from, To: to}
+		rt.edgeTraffic[key] = es
+	}
+	es.Msgs++
+	es.Tuples += int64(tuples)
+	es.Bytes += int64(bytes)
 }
 
 // RunSim executes the topology on the simulated machine and returns both
@@ -210,6 +229,7 @@ func (rt *simRuntime) build() error {
 	rt.profile = profiler.New()
 	rt.byOp = make(map[string][]*simExecutor)
 	rt.sharedState = make(map[string]uint64)
+	rt.edgeTraffic = make(map[[2]int]*EdgeStat)
 	rt.userRegions = make(map[string]*codeRegion)
 	rt.enabledCores = cfg.EnabledCores()
 
@@ -327,7 +347,10 @@ func (rt *simRuntime) run(app string) (*Result, error) {
 		for _, s := range e.latency.Samples() {
 			res.Latency.Observe(s)
 		}
-		stat := ExecStat{Op: e.node.Name, Index: e.index, Socket: e.stateSocket, Tuples: e.tuples}
+		stat := ExecStat{
+			Op: e.node.Name, Index: e.index, Socket: e.stateSocket,
+			Tuples: e.tuples, Invocations: e.invocations, Costs: e.costs,
+		}
 		if e.tuples > 0 {
 			// "Process latency" per event, as Fig 10 reports it: the wall
 			// time each event occupies at this executor, including the
@@ -346,7 +369,28 @@ func (rt *simRuntime) run(app string) (*Result, error) {
 	}
 	rt.profile.GCCycles = rt.heap.GCCycles()
 	res.GCShare = rt.profile.GCShare()
+	res.Edges = sortedEdges(rt.edgeTraffic)
 	return res, nil
+}
+
+// sortedEdges flattens the edge-traffic map in deterministic (From, To)
+// order.
+func sortedEdges(m map[[2]int]*EdgeStat) []EdgeStat {
+	keys := make([][2]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]EdgeStat, len(keys))
+	for i, k := range keys {
+		out[i] = *m[k]
+	}
+	return out
 }
 
 // sortedRoots returns map keys in deterministic order.

@@ -279,3 +279,72 @@ func TestSimOperatorProfiles(t *testing.T) {
 		t.Fatal("acker has no profile under the Storm profile")
 	}
 }
+
+// TestSimPerExecutorAccounts pins the calibration inputs the placement cost
+// model (internal/place) reads off a probe run: per-executor cost vectors
+// must partition the global profile exactly, and the per-edge traffic
+// account must be sorted, self-consistent, and cover all sink arrivals.
+func TestSimPerExecutorAccounts(t *testing.T) {
+	res, _, _ := simWC(t, SimConfig{System: Storm(), Seed: 5}, 80)
+
+	var sum hw.CostVec
+	for i := range res.Executors {
+		e := &res.Executors[i]
+		sum.AddVec(&e.Costs)
+		if e.Tuples > 0 && e.Invocations == 0 {
+			t.Errorf("executor %s[%d] processed %d tuples with zero invocations", e.Op, e.Index, e.Tuples)
+		}
+	}
+	for b := hw.Bucket(0); b < hw.NumBuckets; b++ {
+		if sum[b] != res.Profile.Costs[b] {
+			t.Errorf("bucket %v: executor sum %d != profile %d", b, sum[b], res.Profile.Costs[b])
+		}
+	}
+
+	if len(res.Edges) == 0 {
+		t.Fatal("no edge traffic recorded")
+	}
+	var tuples int64
+	for i, ed := range res.Edges {
+		if i > 0 {
+			prev := res.Edges[i-1]
+			if ed.From < prev.From || (ed.From == prev.From && ed.To <= prev.To) {
+				t.Errorf("edges not strictly sorted at %d: %+v after %+v", i, ed, prev)
+			}
+		}
+		if ed.Msgs <= 0 || ed.Tuples < 0 || ed.Bytes < 0 {
+			t.Errorf("implausible edge stat %+v", ed)
+		}
+		if ed.From == ed.To {
+			t.Errorf("self-edge recorded: %+v", ed)
+		}
+		tuples += ed.Tuples
+	}
+	// Every tuple any executor consumed arrived over some recorded edge.
+	var consumed int64
+	for _, e := range res.Executors {
+		if e.Op != res.Executors[0].Op { // skip sources (index 0 is the source op)
+			consumed += e.Tuples
+		}
+	}
+	if tuples < consumed {
+		t.Errorf("edge tuples %d < consumed tuples %d", tuples, consumed)
+	}
+}
+
+// TestSimExecutorProfileView checks the per-executor Profile view renders
+// the same breakdown the global profile would for the same vector.
+func TestSimExecutorProfileView(t *testing.T) {
+	res, _, _ := simWC(t, SimConfig{System: Flink(), Seed: 7}, 40)
+	for i := range res.Executors {
+		e := &res.Executors[i]
+		if e.Costs.Total() == 0 {
+			continue
+		}
+		p := e.Profile()
+		if p.Total() != e.Costs.Total() {
+			t.Fatalf("executor %s[%d]: profile total %d != costs total %d",
+				e.Op, e.Index, p.Total(), e.Costs.Total())
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package place
+
+import (
+	"testing"
+
+	"streamscale/internal/engine"
+	"streamscale/internal/hw"
+)
+
+// probe runs a small word-count topology on the simulated machine and
+// returns its result — the calibration input the bench harness will use.
+func probe(t *testing.T) (*engine.Result, engine.SystemProfile) {
+	t.Helper()
+	sys := engine.Storm()
+	topo := engine.NewTopology("wc-probe")
+	topo.AddSource("src", 2, func() engine.Source { return &lineSource{n: 60} },
+		engine.Stream(engine.DefaultStream, "line"))
+	topo.AddOp("split", 2, func() engine.Operator { return &splitOp{} },
+		engine.Stream(engine.DefaultStream, "word", "n")).
+		SubDefault("src", engine.Shuffle())
+	topo.AddOp("count", 2, func() engine.Operator { return &countOp{} }).
+		SubDefault("split", engine.Fields("word"))
+	res, err := engine.RunSim(topo, engine.SimConfig{System: sys, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sys
+}
+
+type lineSource struct{ n, i int }
+
+func (s *lineSource) Prepare(engine.Context) {}
+func (s *lineSource) Next(ctx engine.Context) bool {
+	if s.i >= s.n {
+		return false
+	}
+	s.i++
+	ctx.Emit("the quick brown fox")
+	return true
+}
+
+type splitOp struct{}
+
+func (splitOp) Prepare(engine.Context) {}
+func (splitOp) Process(ctx engine.Context, tu engine.Tuple) {
+	ctx.Work(40, 4)
+	for _, w := range []string{"the", "quick", "brown", "fox"} {
+		ctx.Emit(w, int64(1))
+	}
+	_ = tu
+}
+
+type countOp struct{ seen int64 }
+
+func (c *countOp) Prepare(engine.Context) {}
+func (c *countOp) Process(ctx engine.Context, tu engine.Tuple) {
+	c.seen++
+	ctx.Work(25, 2)
+}
+
+func TestCalibrateFromProbe(t *testing.T) {
+	res, sys := probe(t)
+	m, err := Calibrate(res, hw.TableIII(), sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != len(res.Executors) {
+		t.Fatalf("model has %d executors, probe %d", m.N(), len(res.Executors))
+	}
+	if m.RemotePenalty <= 0 {
+		t.Fatalf("remote penalty %v", m.RemotePenalty)
+	}
+	var total float64
+	for i, c := range m.Compute {
+		if c < 0 {
+			t.Fatalf("executor %d negative compute %v", i, c)
+		}
+		total += c
+	}
+	if total <= 0 {
+		t.Fatal("no compute demand calibrated")
+	}
+	// Local-equivalent demand never exceeds the probe's raw account.
+	var raw float64
+	for i := range res.Executors {
+		raw += float64(res.Executors[i].Costs.Total())
+	}
+	if total > raw {
+		t.Fatalf("local-equivalent %v exceeds raw %v", total, raw)
+	}
+	if len(m.Edges) != len(res.Edges) {
+		t.Fatalf("model edges %d != probe edges %d", len(m.Edges), len(res.Edges))
+	}
+
+	// A search over the calibrated model must produce exact, positive,
+	// deterministic predictions.
+	cands := m.Search(SearchOptions{TopM: 4, Workers: 3})
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, c := range cands {
+		if tp := m.PredictThroughput(c.Assign); tp <= 0 {
+			t.Fatalf("non-positive predicted throughput for %v", c.Assign)
+		}
+	}
+}

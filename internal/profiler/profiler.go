@@ -27,6 +27,15 @@ func New() *Profile {
 	return &Profile{Footprint: metrics.NewHistogram(1 << 16)}
 }
 
+// FromCosts returns a profile holding the given cycle account, so
+// per-executor or per-edge cost vectors render with the same breakdown
+// views as a run's global profile. The footprint histogram is empty.
+func FromCosts(v hw.CostVec) *Profile {
+	p := New()
+	p.Costs.AddVec(&v)
+	return p
+}
+
 // Add merges a cost vector into the profile.
 func (p *Profile) Add(v *hw.CostVec) { p.Costs.AddVec(v) }
 
