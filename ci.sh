@@ -32,3 +32,11 @@ go build -o "$BENCH_DIR/dspbench" ./cmd/dspbench
 for f in BENCH_wc_storm.json BENCH_lr_flink.json; do
   test -s "$BENCH_DIR/$f" || { echo "ci: missing $f" >&2; exit 1; }
 done
+# Trace stage: a traced smoke cell must produce the three trace artifacts,
+# and dsptrace must verify the lossless reconciliation (it exits non-zero
+# when the folded stall cycles disagree with the machine's charged ledger).
+(cd "$BENCH_DIR" && ./dspbench -app wc -system storm -sockets 1 -quiet -profile=false -trace trace_out >/dev/null)
+for f in trace.json stalls.folded summary.json; do
+  test -s "$BENCH_DIR/trace_out/$f" || { echo "ci: missing trace artifact $f" >&2; exit 1; }
+done
+go run ./cmd/dsptrace "$BENCH_DIR/trace_out" >/dev/null

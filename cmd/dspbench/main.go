@@ -20,6 +20,8 @@ import (
 	"streamscale/internal/bench"
 	"streamscale/internal/core"
 	"streamscale/internal/engine"
+	"streamscale/internal/sim"
+	"streamscale/internal/trace"
 )
 
 func main() {
@@ -41,6 +43,10 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress the sweep progress line on stderr")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		traceDir = flag.String("trace", "", "record a cycle-exact trace into this directory (trace.json + stalls.folded + summary.json; see cmd/dsptrace)")
+		traceN   = flag.Int("trace-every", trace.DefaultSampleEvery, "with -trace: sample every n-th source tuple tree")
+		traceQ   = flag.Int64("trace-cadence", int64(trace.DefaultQueueCadence), "with -trace: queue-depth sampling period in cycles (<0 disables)")
 	)
 	flag.Parse()
 	bench.SetJobs(*jobs)
@@ -99,8 +105,20 @@ func main() {
 		}
 	}
 
-	res, err := bench.Run(cell)
-	fail(err)
+	var res *engine.Result
+	if *traceDir != "" {
+		// Traced runs bypass the memo/disk cache: a cached Result carries
+		// no trace, and the trace streams must come from a live simulation.
+		tr := trace.New(trace.Config{SampleEvery: *traceN, QueueCadence: sim.Cycles(*traceQ)})
+		res, err = bench.RunTraced(cell, tr)
+		fail(err)
+		fail(tr.Write(*traceDir))
+		fmt.Fprintf(os.Stderr, "dspbench: wrote trace (%d sampled tuple trees) to %s\n",
+			tr.SampledRoots(), *traceDir)
+	} else {
+		res, err = bench.Run(cell)
+		fail(err)
+	}
 
 	fmt.Printf("%s on %s: %d sockets, batch S=%d\n", *app, *system, *sockets, *batch)
 	fmt.Printf("  throughput   %10.1f k events/s  (%d events in %.3f s simulated, computed in %.2f s host)\n",

@@ -1,0 +1,195 @@
+// Command dsptrace summarizes a trace directory written by dspbench -trace:
+// it verifies the lossless reconciliation (folded stall cycles vs the
+// machine's charged-cycle ledger), lists the top-k slowest sampled execute
+// spans with their dominant stall bucket, and prints the per-edge
+// queue-wait table. The trace.json itself loads in Perfetto / Chrome's
+// about:tracing for the full timeline view.
+//
+// Usage:
+//
+//	dsptrace [-top 10] <trace-dir>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"streamscale/internal/trace"
+)
+
+type traceEvent struct {
+	Ph   string                 `json:"ph"`
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Tid  int                    `json:"tid"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	Args map[string]interface{} `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func main() {
+	top := flag.Int("top", 10, "number of slowest execute spans to list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dsptrace [-top k] <trace-dir>")
+		os.Exit(2)
+	}
+	dir := flag.Arg(0)
+
+	var sum trace.Summary
+	readJSON(filepath.Join(dir, trace.SummaryFile), &sum)
+	fmt.Printf("%s on %s: %d sampled tuple trees (every %d), %d trace events\n",
+		sum.App, sum.System, sum.SampledRoots, sum.SampleEvery, sum.TraceEvents)
+	fmt.Printf("reconciliation: folded %d cycles vs charged %d cycles — ", sum.FoldedCycles, sum.ChargedCycles)
+	if sum.Lossless {
+		fmt.Println("lossless")
+	} else {
+		fmt.Println("MISMATCH")
+	}
+
+	var tf traceFile
+	readJSON(filepath.Join(dir, trace.TraceFile), &tf)
+	printSlowest(&tf, *top)
+	printQueueWaits(&tf)
+
+	if !sum.Lossless {
+		os.Exit(1)
+	}
+}
+
+// printSlowest lists the k slowest execute spans with their dominant
+// stall bucket from the span's charge-path breakdown.
+func printSlowest(tf *traceFile, k int) {
+	type span struct {
+		op     string
+		root   int64
+		cycles int64
+		ts     float64
+		bucket string
+		bkCyc  int64
+	}
+	var spans []span
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" || ev.Name != "execute" {
+			continue
+		}
+		s := span{ts: ev.Ts}
+		s.op, _ = ev.Args["op"].(string)
+		s.root = argInt(ev.Args, "root")
+		s.cycles = argInt(ev.Args, "cycles")
+		// The dominant bucket is the largest charge-path member that is
+		// not one of the span's identity keys.
+		keys := make([]string, 0, len(ev.Args))
+		for key := range ev.Args {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			if key == "op" || key == "root" || key == "cycles" {
+				continue
+			}
+			if c := argInt(ev.Args, key); c > s.bkCyc {
+				s.bucket, s.bkCyc = key, c
+			}
+		}
+		spans = append(spans, s)
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].cycles != spans[j].cycles {
+			return spans[i].cycles > spans[j].cycles
+		}
+		return spans[i].ts < spans[j].ts
+	})
+	if len(spans) > k {
+		spans = spans[:k]
+	}
+	fmt.Printf("\nslowest execute spans (top %d of %d sampled):\n", len(spans), countExec(tf))
+	fmt.Printf("  %-14s %10s %12s %8s   %s\n", "operator", "root", "cycles", "at-us", "dominant stall")
+	for _, s := range spans {
+		dom := "-"
+		if s.bucket != "" {
+			dom = fmt.Sprintf("%s (%d)", s.bucket, s.bkCyc)
+		}
+		fmt.Printf("  %-14s %10d %12d %8.0f   %s\n", s.op, s.root, s.cycles, s.ts, dom)
+	}
+}
+
+func countExec(tf *traceFile) int {
+	n := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "execute" {
+			n++
+		}
+	}
+	return n
+}
+
+// printQueueWaits aggregates queue-wait spans per (producer, consumer)
+// operator edge.
+func printQueueWaits(tf *traceFile) {
+	type stat struct {
+		n          int64
+		total, max int64
+	}
+	agg := map[[2]string]*stat{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "b" || ev.Name != "queue-wait" {
+			continue
+		}
+		from, _ := ev.Args["from"].(string)
+		to, _ := ev.Args["to"].(string)
+		c := argInt(ev.Args, "cycles")
+		s := agg[[2]string{from, to}]
+		if s == nil {
+			s = &stat{}
+			agg[[2]string{from, to}] = s
+		}
+		s.n++
+		s.total += c
+		if c > s.max {
+			s.max = c
+		}
+	}
+	keys := make([][2]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	fmt.Println("\nqueue wait per edge (sampled tuples):")
+	fmt.Printf("  %-14s %-14s %8s %14s %14s %14s\n", "from", "to", "waits", "mean cycles", "max cycles", "total cycles")
+	for _, k := range keys {
+		s := agg[k]
+		fmt.Printf("  %-14s %-14s %8d %14d %14d %14d\n",
+			k[0], k[1], s.n, s.total/s.n, s.max, s.total)
+	}
+}
+
+// argInt reads a numeric JSON arg (decoded as float64) as int64.
+func argInt(args map[string]interface{}, key string) int64 {
+	f, _ := args[key].(float64)
+	return int64(f)
+}
+
+func readJSON(path string, v interface{}) {
+	data, err := os.ReadFile(path)
+	if err == nil {
+		err = json.Unmarshal(data, v)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsptrace:", err)
+		os.Exit(1)
+	}
+}

@@ -184,7 +184,8 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 // DefaultDeterministic is the repo policy for the simulation-deterministic
 // file set: the discrete-event kernel and scheduler, the hardware model,
 // the profiler, the input generators, the benchmark applications, the
-// placement cost model and search, the sim path of the engine (every file
+// placement cost model and search, the trace recorder (whose artifacts must
+// be byte-identical across runs), the sim path of the engine (every file
 // except the *native* runtime), and the dspreport driver whose output must
 // be bit-identical across runs.
 func DefaultDeterministic(modPath string) func(importPath, filename string) bool {
@@ -195,6 +196,7 @@ func DefaultDeterministic(modPath string) func(importPath, filename string) bool
 		modPath + "/internal/gen":      true,
 		modPath + "/internal/apps":     true,
 		modPath + "/internal/place":    true,
+		modPath + "/internal/trace":    true,
 		modPath + "/cmd/dspreport":     true,
 	}
 	return func(importPath, filename string) bool {

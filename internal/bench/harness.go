@@ -12,6 +12,7 @@ import (
 	"streamscale/internal/engine"
 	"streamscale/internal/hw"
 	"streamscale/internal/jvm"
+	"streamscale/internal/trace"
 )
 
 // defaultEvents is the per-application source event count for one
@@ -121,7 +122,18 @@ func (c Cell) Topology() (*engine.Topology, error) {
 // bypassing the memo layer. Run is the memoized entry point (memoize.go);
 // the determinism test uses runDirect to prove repeat simulations are
 // bit-identical rather than merely pointer-identical.
-func runDirect(c Cell) (*engine.Result, error) {
+func runDirect(c Cell) (*engine.Result, error) { return runCell(c, nil) }
+
+// RunTraced executes the cell with the given tracer attached, always
+// simulating afresh: a memoized or disk-cached Result carries no trace, so
+// traced runs bypass the memo layer entirely (and never pollute it — the
+// Result is returned to the caller only). After it returns, the tracer
+// holds the run's complete span/timeline/folded streams, ready for Write.
+func RunTraced(c Cell, tr *trace.Tracer) (*engine.Result, error) {
+	return runCell(c, tr)
+}
+
+func runCell(c Cell, tr *trace.Tracer) (*engine.Result, error) {
 	sys, err := systemProfile(c.System)
 	if err != nil {
 		return nil, err
@@ -142,6 +154,7 @@ func runDirect(c Cell) (*engine.Result, error) {
 		Placement: c.Placement,
 		Seed:      seed,
 		GC:        c.GC,
+		Trace:     tr,
 	}
 	if c.HugePages || c.NoUopCache {
 		spec := hw.TableIII()

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"streamscale/internal/trace"
+)
+
+// traceCell is the cell the trace e2e tests run: small enough to simulate
+// in well under a second, rich enough to exercise spans on every hook
+// (acks, multi-operator chains, a sink).
+var traceCell = Cell{App: "wc", System: "storm", Sockets: 1}
+
+// encodeAll renders a tracer's three artifacts to bytes for comparison.
+func encodeAll(t *testing.T, tr *trace.Tracer) (traceJSON, folded, summary []byte) {
+	t.Helper()
+	var a, b, c bytes.Buffer
+	if err := tr.EncodeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeSummary(&c); err != nil {
+		t.Fatal(err)
+	}
+	return a.Bytes(), b.Bytes(), c.Bytes()
+}
+
+func runTraced(t *testing.T, c Cell) (*trace.Tracer, []byte, []byte, []byte) {
+	t.Helper()
+	tr := trace.New(trace.Config{})
+	if _, err := RunTraced(c, tr); err != nil {
+		t.Fatal(err)
+	}
+	a, b, s := encodeAll(t, tr)
+	return tr, a, b, s
+}
+
+// TestTraceDeterminismAcrossJobs pins the trace contract: the same cell
+// traced under a sequential harness and under a parallel one — including
+// two traced simulations racing each other — produces byte-identical
+// trace, folded, and summary artifacts. All trace timestamps come from the
+// simulation clock, so host scheduling cannot leak in.
+func TestTraceDeterminismAcrossJobs(t *testing.T) {
+	oldJobs := Jobs()
+	defer SetJobs(oldJobs)
+
+	SetJobs(1)
+	_, refTrace, refFolded, refSummary := runTraced(t, traceCell)
+
+	SetJobs(8)
+	results := make([][3][]byte, 2)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := trace.New(trace.Config{})
+			if _, err := RunTraced(traceCell, tr); err != nil {
+				t.Error(err)
+				return
+			}
+			var a, b, c bytes.Buffer
+			if err := tr.EncodeTrace(&a); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := tr.EncodeFolded(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := tr.EncodeSummary(&c); err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = [3][]byte{a.Bytes(), b.Bytes(), c.Bytes()}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i, r := range results {
+		if !bytes.Equal(r[0], refTrace) {
+			t.Errorf("concurrent run %d: trace.json differs from sequential run", i)
+		}
+		if !bytes.Equal(r[1], refFolded) {
+			t.Errorf("concurrent run %d: stalls.folded differs from sequential run", i)
+		}
+		if !bytes.Equal(r[2], refSummary) {
+			t.Errorf("concurrent run %d: summary.json differs from sequential run", i)
+		}
+	}
+}
+
+// TestTraceConservation pins losslessness: the folded-stack stall account
+// sums exactly to the machine's charged-cycle ledger, both through the API
+// and through the serialized artifact.
+func TestTraceConservation(t *testing.T) {
+	tr := trace.New(trace.Config{})
+	res, err := RunTraced(traceCell, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FoldedTotal() != res.ChargedCycles {
+		t.Fatalf("folded total %d != charged cycles %d", tr.FoldedTotal(), res.ChargedCycles)
+	}
+	_, folded, summary := encodeAll(t, tr)
+	var total int64
+	for _, line := range strings.Split(strings.TrimSpace(string(folded)), "\n") {
+		n, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad folded line %q: %v", line, err)
+		}
+		total += n
+	}
+	if total != int64(res.ChargedCycles) {
+		t.Fatalf("stalls.folded sums to %d, charged %d", total, int64(res.ChargedCycles))
+	}
+	var s trace.Summary
+	if err := json.Unmarshal(summary, &s); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Lossless || s.ChargedCycles != int64(res.ChargedCycles) {
+		t.Fatalf("summary reconciliation broken: %+v", s)
+	}
+}
+
+// TestTracedRunMatchesUntraced pins the observer property: attaching a
+// tracer must not perturb the simulation — every deterministic Result
+// field matches an untraced run of the same cell.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	plain, err := runDirect(traceCell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := RunTraced(traceCell, trace.New(trace.Config{SampleEvery: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "traced vs untraced", plain, traced)
+	if plain.ChargedCycles != traced.ChargedCycles {
+		t.Fatalf("charged cycles differ: %d vs %d", plain.ChargedCycles, traced.ChargedCycles)
+	}
+}

@@ -362,12 +362,32 @@ func (e *simExecutor) handleMsg(msg Msg) {
 		return
 	}
 	start := e.consumed
+	tr := e.rt.tr
+	sampled := false
+	if tr != nil {
+		for i := range msg.Batch {
+			if tr.Sampled(msg.Batch[i].Root) {
+				sampled = true
+				if msg.EnqueuedAt > 0 {
+					tr.QueueWait(e.global, msg.FromOp, e.node.Name,
+						msg.Batch[i].Root, sim.Cycles(msg.EnqueuedAt), e.now())
+				}
+			}
+		}
+	}
 	if msg.EnqueuedAt > 0 {
 		if wait := e.now() - sim.Cycles(msg.EnqueuedAt); wait > 0 {
 			e.waitCycles += wait * sim.Cycles(len(msg.Batch))
 		}
 	}
-	e.chargeInvocationOverhead()
+	if sampled {
+		invStart := e.now()
+		preInv := e.costs
+		e.chargeInvocationOverhead()
+		tr.Invoke(e.global, e.node.Name, invStart, e.now()-invStart, preInv, e.costs)
+	} else {
+		e.chargeInvocationOverhead()
+	}
 	for i := range msg.Batch {
 		t := &msg.Batch[i]
 		e.ctx.curInput = t
@@ -375,11 +395,14 @@ func (e *simExecutor) handleMsg(msg Msg) {
 		if e.ackTracking() {
 			e.accumAck(t.Root, t.Edge)
 		}
-		e.chargeTupleOverhead(t)
-		if e.isSink {
-			e.observeSink(t)
+		if tr != nil && tr.Sampled(t.Root) {
+			tStart := e.now()
+			preCosts := e.costs
+			e.processTuple(t)
+			tr.Execute(e.global, e.node.Name, t.Root, tStart, e.now()-tStart, preCosts, e.costs)
+		} else {
+			e.processTuple(t)
 		}
-		e.op.Process(e.ctx, *t)
 	}
 	e.ctx.curInput = nil
 	if e.tuples == 0 {
@@ -389,6 +412,16 @@ func (e *simExecutor) handleMsg(msg Msg) {
 	e.endInvocation()
 	e.procCycles += e.consumed - start
 	e.lastTuple = e.now()
+}
+
+// processTuple runs one input tuple through the executor: framework and
+// profile charges, sink observation, and the operator's Process.
+func (e *simExecutor) processTuple(t *Tuple) {
+	e.chargeTupleOverhead(t)
+	if e.isSink {
+		e.observeSink(t)
+	}
+	e.op.Process(e.ctx, *t)
 }
 
 func (e *simExecutor) ackTracking() bool {
@@ -408,6 +441,13 @@ func (e *simExecutor) accumAck(root, edge int64) {
 func (e *simExecutor) observeSink(t *Tuple) {
 	e.sinkN++
 	e.rt.sinkEvents++
+	if tr := e.rt.tr; tr != nil && tr.Sampled(t.Root) {
+		e2e := e.now() - sim.Cycles(t.Born)
+		if e2e < 0 {
+			e2e = 0
+		}
+		tr.Sink(e.global, e.node.Name, t.Root, e.now(), e2e)
+	}
 	if e.sinkN%int64(e.rt.cfg.LatencySampleEvery) == 0 {
 		// Step execution windows overlap, so a tuple can be observed up to
 		// one quantum before its producer's window closes; clamp at zero.
@@ -476,6 +516,7 @@ func (e *simExecutor) flushAcks() {
 		t.Addr = e.alloc(int(t.Size))
 		e.write(t.Addr, int(t.Size))
 		e.compute(e.node.Profile.UopsPerEmit+120, 2)
+		t.EmitAt = int64(e.now())
 		buf = append(buf, t)
 	}
 	e.routeBuffer(AckStream, buf)
@@ -502,6 +543,19 @@ func (e *simExecutor) flushPending() bool {
 		}
 		e.compute(sys.DeliveryUops+int(float64(bytes)*sys.DeliveryUopsPerByte), 3)
 		e.rt.noteDelivery(e.global, d.to, len(d.msg.Batch), bytes)
+		if tr := e.rt.tr; tr != nil {
+			for i := range d.msg.Batch {
+				t := &d.msg.Batch[i]
+				if tr.Sampled(t.Root) {
+					// The consumer's queue ring lives on its home socket;
+					// comparing it against the producer's current socket
+					// marks cross-socket transfers (Fig 3 step 2).
+					tr.Deliver(e.global, e.node.Name, e.rt.execs[d.to].node.Name,
+						t.Root, sim.Cycles(t.EmitAt), e.now(),
+						e.rt.machine.SocketOfCore(e.curCore), hw.HomeSocket(d.q.baseAddr))
+				}
+			}
+		}
 		e.pending = e.pending[1:]
 	}
 	e.pending = nil
@@ -550,6 +604,9 @@ func (e *simExecutor) maybeEmitBarrier() {
 	e.nextBarrier += iv
 	e.barrierID++
 	e.broadcastBarrier(e.barrierID)
+	if tr := e.rt.tr; tr != nil {
+		tr.Barrier(e.global, e.node.Name, e.barrierID, e.now())
+	}
 }
 
 func (e *simExecutor) broadcastBarrier(id int64) {
@@ -588,6 +645,9 @@ func (e *simExecutor) handleBarrier(id int64) {
 		}
 	}
 	e.broadcastBarrier(id)
+	if tr := e.rt.tr; tr != nil {
+		tr.Barrier(e.global, e.node.Name, id, e.now())
+	}
 }
 
 // simCtx implements Context for the simulated runtime.
@@ -614,6 +674,9 @@ func (c *simCtx) EmitTo(stream string, values ...Value) {
 		if e.node.IsSource() {
 			e.rt.rootCtr++
 			t.Root = e.rt.rootCtr
+			if tr := e.rt.tr; tr != nil {
+				tr.SpoutEmit(t.Root)
+			}
 		}
 		// Non-source emissions without an input anchor (e.g. Flush) are
 		// unanchored, as in Storm: Root stays 0 and is never ack-tracked.
@@ -622,6 +685,7 @@ func (c *simCtx) EmitTo(stream string, values ...Value) {
 	t.Addr = e.alloc(int(t.Size))
 	e.write(t.Addr, int(t.Size))
 	e.compute(e.node.Profile.UopsPerEmit, 3)
+	t.EmitAt = int64(e.now())
 	if e.node.IsSource() && stream != AckStream {
 		e.rt.sourceEvents++
 	}

@@ -10,6 +10,7 @@ import (
 	"streamscale/internal/metrics"
 	"streamscale/internal/profiler"
 	"streamscale/internal/sim"
+	"streamscale/internal/trace"
 )
 
 // SimConfig configures a run on the simulated multi-socket machine.
@@ -60,6 +61,12 @@ type SimConfig struct {
 	// TimeLimit aborts the simulation after this many cycles (safety
 	// net; 0 = one simulated hour).
 	TimeLimit sim.Cycles
+
+	// Trace, if non-nil, records a cycle-exact trace of the run (sampled
+	// tuple span chains, scheduler timelines, queue depths, folded stall
+	// stacks). All hooks are nil-guarded: a nil Trace costs nothing on the
+	// simulation hot paths.
+	Trace *trace.Tracer
 }
 
 func (c *SimConfig) fill() {
@@ -162,6 +169,9 @@ type simRuntime struct {
 	// executor pair. The kernel runs every executor on one goroutine, so a
 	// plain map is race-free; extraction into Result.Edges sorts the keys.
 	edgeTraffic map[[2]int]*EdgeStat
+
+	// tr mirrors cfg.Trace for the executors' nil-guarded trace hooks.
+	tr *trace.Tracer
 }
 
 // noteDelivery records one successfully enqueued message on the edge
@@ -295,7 +305,45 @@ func (rt *simRuntime) build() error {
 		e.thread = rt.sched.Spawn(name, e, affinity)
 		e.thread.OnCoreChange = func(prev, next int) { e.curCore = next }
 	}
+	if tr := cfg.Trace; tr != nil {
+		rt.tr = tr
+		// Thread IDs are assigned in spawn order, which matches executor
+		// global indices — span events and timeline tracks share tids.
+		for _, e := range rt.execs {
+			tr.NameThread(e.thread.ID, e.thread.Name)
+		}
+		rt.sched.OnSlice = func(t *sim.Thread, core int, start, dur sim.Cycles, d sim.Disposition) {
+			tr.Slice(t.ID, t.Name, core, start, dur, d.String())
+		}
+		rt.armQueueSampler()
+	}
 	return nil
+}
+
+// armQueueSampler installs the queue-depth sampler as the kernel's
+// after-event observer: at the first event boundary past each cadence
+// interval it snapshots every input queue's depth. Observing at event
+// boundaries (rather than via self-rescheduled events) keeps the tracer a
+// pure observer — no extra heap events, so the kernel's seq ordering and
+// final clock are byte-for-byte those of an untraced run.
+func (rt *simRuntime) armQueueSampler() {
+	cadence := rt.tr.QueueCadence()
+	if cadence <= 0 {
+		return
+	}
+	next := cadence
+	rt.kernel.AfterEvent = func() {
+		now := rt.kernel.Now()
+		if now < next {
+			return
+		}
+		for _, e := range rt.execs {
+			if e.in != nil {
+				rt.tr.QueueDepth(e.global, e.thread.Name, now, e.in.size())
+			}
+		}
+		next = now + cadence
+	}
 }
 
 func intersect(a, b []int) []int {
@@ -313,6 +361,9 @@ func intersect(a, b []int) []int {
 }
 
 func (rt *simRuntime) run(app string) (*Result, error) {
+	if rt.tr != nil {
+		rt.tr.Begin(app, rt.cfg.System.Name, rt.cfg.Spec.ClockHz)
+	}
 	rt.kernel.Run(rt.cfg.TimeLimit)
 	if live := rt.sched.Live(); live > 0 {
 		return nil, fmt.Errorf("engine: simulation stalled with %d live executors at %d cycles (deadlock or time limit)",
@@ -370,6 +421,21 @@ func (rt *simRuntime) run(app string) (*Result, error) {
 	rt.profile.GCCycles = rt.heap.GCCycles()
 	res.GCShare = rt.profile.GCShare()
 	res.Edges = sortedEdges(rt.edgeTraffic)
+	if rt.tr != nil {
+		// Fold the executors' Table II charges per operator, in topology
+		// node order (deterministic). The totals reconcile exactly against
+		// the machine ledger: every charge path adds to both an executor's
+		// CostVec and Machine.charged, and GC pauses are in neither.
+		ops := make([]trace.OpCost, 0, len(rt.topo.Nodes()))
+		for _, n := range rt.topo.Nodes() {
+			oc := trace.OpCost{Op: n.Name}
+			for _, e := range rt.byOp[n.Name] {
+				oc.Costs.AddVec(&e.costs)
+			}
+			ops = append(ops, oc)
+		}
+		rt.tr.Finish(res.ChargedCycles, ops)
+	}
 	return res, nil
 }
 

@@ -36,6 +36,10 @@ type Tuple struct {
 	Root int64
 	// Edge is this tuple's random edge ID for XOR ack tracking.
 	Edge int64
+	// EmitAt is the simulated instant this tuple was emitted into its
+	// producer's output buffer (sim runtime only) — the start of its
+	// batch/delivery residency in the trace's deliver spans.
+	EmitAt int64
 }
 
 // String renders a tuple for debugging.

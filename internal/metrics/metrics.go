@@ -53,9 +53,26 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.skip = h.stride - 1
 	if len(h.samples) >= h.cap {
-		// Decimate: keep every other sample, double the stride.
-		kept := h.samples[:0]
-		for i := 0; i < len(h.samples); i += 2 {
+		// Decimate: keep every other sample, double the stride. Two
+		// subtleties are load-bearing here.
+		//
+		// The kept samples go into a fresh slice: Samples() hands out the
+		// live backing array, so rewriting it in place would corrupt a
+		// slice a caller still holds from before the decimation.
+		//
+		// The retained samples are spaced `stride` observations apart and
+		// the incoming observation v sits exactly `stride` past the last
+		// one. Keeping even positions of an odd-length buffer would retain
+		// the last sample and then append v only one old stride (half the
+		// new stride) behind it, breaking uniform coverage of the
+		// observation stream; an odd-length buffer therefore keeps odd
+		// positions, whose last element sits one old stride earlier.
+		start := 0
+		if len(h.samples)%2 == 1 {
+			start = 1
+		}
+		kept := make([]float64, 0, (len(h.samples)-start+1)/2+1)
+		for i := start; i < len(h.samples); i += 2 {
 			kept = append(kept, h.samples[i])
 		}
 		h.samples = kept
@@ -105,14 +122,34 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) over the retained samples.
+// Quantile returns the q-quantile over the retained samples using the
+// nearest-rank definition: the smallest retained sample whose cumulative
+// frequency is >= q. q is clamped into [0, 1] (the old floor(q*(len-1))
+// indexing biased high quantiles low on small sample sets and silently
+// mis-indexed for out-of-range q). A NaN q returns NaN; an empty histogram
+// returns 0.
 func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
 	if len(h.samples) == 0 {
 		return 0
 	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
 	s := append([]float64(nil), h.samples...)
 	sort.Float64s(s)
-	idx := int(q * float64(len(s)-1))
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
 	return s[idx]
 }
 
@@ -131,6 +168,10 @@ func (h *Histogram) CDFAt(x float64) float64 {
 }
 
 // Samples returns the retained samples (shared slice; do not mutate).
+// The histogram never rewrites elements already handed out — later
+// observations only append past the returned length, and decimation
+// rebuilds into a fresh slice — so a held slice stays valid across
+// further Observe calls.
 func (h *Histogram) Samples() []float64 { return h.samples }
 
 // Throughput expresses a count over a duration in events per second.

@@ -90,6 +90,100 @@ func TestHistogramDecimationKeepsExactMoments(t *testing.T) {
 	}
 }
 
+// TestSamplesHeldAcrossDecimation pins the aliasing fix: a slice handed out
+// by Samples() must keep its contents even when a later Observe triggers a
+// decimation (the old code rebuilt the retained set in place over the same
+// backing array, corrupting held slices).
+func TestSamplesHeldAcrossDecimation(t *testing.T) {
+	h := NewHistogram(8)
+	for i := 0; i < 8; i++ {
+		h.Observe(float64(i))
+	}
+	held := h.Samples()
+	want := append([]float64(nil), held...)
+	// Push the histogram through two more decimations.
+	for i := 8; i < 64; i++ {
+		h.Observe(float64(i))
+	}
+	for i, v := range held {
+		if v != want[i] {
+			t.Fatalf("held Samples() slice corrupted at %d: got %v, want %v (full: got %v, want %v)",
+				i, v, want[i], held, want)
+		}
+	}
+}
+
+// TestQuantileNearestRank pins the clamped nearest-rank definition.
+func TestQuantileNearestRank(t *testing.T) {
+	obs := func(vals ...float64) *Histogram {
+		h := NewHistogram(0)
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	tests := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want float64
+	}{
+		{"p0 is min", obs(1, 2, 3, 4, 5), 0, 1},
+		{"p100 is max", obs(1, 2, 3, 4, 5), 1, 5},
+		{"p50 odd n", obs(1, 2, 3, 4, 5), 0.5, 3},
+		{"p50 even n", obs(1, 2, 3, 4), 0.5, 2},
+		{"p99 small n is max", obs(1, 2, 3, 4, 5), 0.99, 5},
+		{"p99 n=100", func() *Histogram {
+			h := NewHistogram(0)
+			for i := 1; i <= 100; i++ {
+				h.Observe(float64(i))
+			}
+			return h
+		}(), 0.99, 99},
+		{"single sample", obs(7), 0.5, 7},
+		{"q below range clamps", obs(1, 2, 3), -0.5, 1},
+		{"q above range clamps", obs(1, 2, 3), 1.5, 3},
+	}
+	for _, tc := range tests {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+	if got := obs(1, 2, 3).Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", got)
+	}
+	if got := NewHistogram(0).Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("empty Quantile(NaN) = %v, want NaN", got)
+	}
+}
+
+// TestDecimationUniformStride feeds a monotone ramp (value == observation
+// index) through several decimations and asserts the retained samples are a
+// uniform stride of the observation stream — for both even and odd caps.
+// The odd-cap case is the regression: keeping even buffer positions left
+// the incoming observation half a stride behind the last retained one.
+func TestDecimationUniformStride(t *testing.T) {
+	for _, cap := range []int{8, 9, 64, 101} {
+		h := NewHistogram(cap)
+		n := cap * 16 // >= 4 decimations
+		for i := 0; i < n; i++ {
+			h.Observe(float64(i))
+		}
+		s := h.Samples()
+		if len(s) < 3 {
+			t.Fatalf("cap %d: retained only %d samples", cap, len(s))
+		}
+		first := s[1] - s[0]
+		for i := 1; i < len(s); i++ {
+			if d := s[i] - s[i-1]; d != first {
+				t.Errorf("cap %d: non-uniform stride: gap %v at %d, want %v (retained %v)",
+					cap, d, i, first, s)
+				break
+			}
+		}
+	}
+}
+
 func TestHistogramPropertyMeanWithinRange(t *testing.T) {
 	f := func(vals []float64) bool {
 		h := NewHistogram(64)

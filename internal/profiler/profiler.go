@@ -187,6 +187,20 @@ func (p *Profile) String() string {
 	return sb.String()
 }
 
+// Folded renders the profile as folded-stack lines ("prefix;bucket cycles",
+// one per nonzero bucket, in Table II order) for flamegraph tooling. The
+// rendered cycle total equals Costs.Total() exactly — the trace subsystem
+// relies on this to reconcile its stall output against the machine ledger.
+func (p *Profile) Folded(prefix string) []string {
+	var lines []string
+	for b := hw.Bucket(0); b < hw.NumBuckets; b++ {
+		if c := p.Costs[b]; c != 0 {
+			lines = append(lines, fmt.Sprintf("%s;%s %d", prefix, b.String(), int64(c)))
+		}
+	}
+	return lines
+}
+
 // SortedBuckets returns buckets ordered by descending cycle share, for
 // reports that list the dominant components first.
 func (p *Profile) SortedBuckets() []hw.Bucket {

@@ -2,6 +2,7 @@ package profiler
 
 import (
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -31,6 +32,35 @@ func TestBreakdownSharesSumToOne(t *testing.T) {
 	}
 	if !almost(bd.FrontEnd, 0.3) {
 		t.Fatalf("front-end = %v, want 0.3", bd.FrontEnd)
+	}
+}
+
+func TestFoldedLinesAndTotal(t *testing.T) {
+	var v hw.CostVec
+	v.Add(hw.TC, 100)
+	v.Add(hw.BeLLCRemote, 40)
+	p := FromCosts(v)
+	lines := p.Folded("wc;split")
+	want := []string{"wc;split;computation 100", "wc;split;llc-miss-remote 40"}
+	if len(lines) != len(want) {
+		t.Fatalf("folded = %v, want %v", lines, want)
+	}
+	var total int64
+	for i, l := range lines {
+		if l != want[i] {
+			t.Errorf("line %d = %q, want %q", i, l, want[i])
+		}
+		n, err := strconv.ParseInt(l[strings.LastIndexByte(l, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("unparsable folded line %q: %v", l, err)
+		}
+		total += n
+	}
+	if total != int64(p.Total()) {
+		t.Fatalf("folded total %d != profile total %d", total, int64(p.Total()))
+	}
+	if got := New().Folded("x"); len(got) != 0 {
+		t.Fatalf("empty profile folded = %v, want none", got)
 	}
 }
 

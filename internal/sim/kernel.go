@@ -55,6 +55,12 @@ type Kernel struct {
 	heap []eventNode // 4-ary min-heap ordered by (at, seq)
 	slab []func()    // slot -> pending callback
 	free []int32     // recycled slab slots
+
+	// AfterEvent, if non-nil, runs after every event fired by Run. It is a
+	// pure observer for periodic measurement (the tracing layer's queue-depth
+	// sampler): it must not schedule events — scheduling would shift the seq
+	// ordering and the final clock, perturbing the run it observes.
+	AfterEvent func()
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -134,6 +140,9 @@ func (k *Kernel) Run(limit Cycles) int {
 		}
 		k.Step()
 		n++
+		if k.AfterEvent != nil {
+			k.AfterEvent()
+		}
 	}
 	return n
 }

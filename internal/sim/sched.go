@@ -132,6 +132,12 @@ type Scheduler struct {
 
 	pendingWakes []*Thread // wakes produced during the current Step
 	inStep       bool
+
+	// OnSlice, if non-nil, observes every dispatch: thread t occupied core
+	// for [start, start+dur) (dur includes context-switch overhead) and left
+	// in disposition d. The tracing layer uses it to build per-core and
+	// per-executor timelines; it must not re-enter the scheduler.
+	OnSlice func(t *Thread, core int, start, dur Cycles, d Disposition)
 }
 
 // NewScheduler creates a scheduler over nCores cores, coresPerSocket wide
@@ -323,6 +329,9 @@ func (s *Scheduler) dispatch(c *Core) {
 	c.busyCycles += total
 	c.busyAt = s.K.Now() + total
 	t.vruntime += consumed
+	if s.OnSlice != nil {
+		s.OnSlice(t, c.ID, s.K.Now(), total, d)
+	}
 
 	// Wakes produced during the step take effect at the end of the step's
 	// execution window, as do the thread's own state transition and the

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"streamscale/internal/profiler"
+	"streamscale/internal/sim"
+)
+
+// File names written by Write.
+const (
+	TraceFile   = "trace.json"
+	FoldedFile  = "stalls.folded"
+	SummaryFile = "summary.json"
+)
+
+// Write serializes the three trace artifacts into dir, creating it if
+// needed. Output is a pure function of the recorded events: byte-identical
+// across repeat runs of the same deterministic cell.
+func (t *Tracer) Write(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, enc func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := enc(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(TraceFile, t.EncodeTrace); err != nil {
+		return err
+	}
+	if err := write(FoldedFile, t.EncodeFolded); err != nil {
+		return err
+	}
+	return write(SummaryFile, t.EncodeSummary)
+}
+
+// ts renders a cycle timestamp as trace_event microseconds under the
+// 1 cycle = 1 ns convention: an exact decimal (cycles/1000) with three
+// fractional digits, so no float rounding can perturb the output.
+func ts(c sim.Cycles) string {
+	n := int64(c)
+	return fmt.Sprintf("%d.%03d", n/1000, n%1000)
+}
+
+// EncodeTrace writes the Chrome trace_event JSON stream: metadata (process
+// and thread names), then every recorded event in recording order — which
+// the kernel's deterministic event order fixes across runs.
+func (t *Tracer) EncodeTrace(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.str("{\"displayTimeUnit\":\"ns\",\"otherData\":{\"app\":")
+	bw.str(quote(t.app))
+	bw.str(",\"system\":")
+	bw.str(quote(t.system))
+	fmt.Fprintf(bw, ",\"clock_hz\":%d,\"cycle_ns\":1},\n\"traceEvents\":[\n", t.clockHz)
+
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.str(",\n")
+		}
+		first = false
+		bw.str(s)
+	}
+
+	for _, m := range []struct {
+		pid  int32
+		name string
+	}{
+		{pidSpans, "tuple spans"},
+		{pidCores, "cores"},
+		{pidExecutors, "executors"},
+		{pidQueues, "queues"},
+	} {
+		emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%s}}`,
+			m.pid, quote(m.name)))
+	}
+	for _, tid := range t.nameOrder {
+		name := quote(t.names[tid])
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			pidSpans, tid, name))
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			pidExecutors, tid, name))
+	}
+
+	var b strings.Builder
+	for i := range t.events {
+		ev := &t.events[i]
+		b.Reset()
+		fmt.Fprintf(&b, `{"ph":"%c","name":%s,"cat":%s,"pid":%d,"tid":%d,"ts":%s`,
+			ev.ph, quote(ev.name), quote(ev.cat), ev.pid, ev.tid, ts(ev.ts))
+		if ev.ph == 'X' {
+			b.WriteString(`,"dur":`)
+			b.WriteString(ts(ev.dur))
+		}
+		if ev.id >= 0 {
+			fmt.Fprintf(&b, `,"id":%d`, ev.id)
+		}
+		switch ev.ph {
+		case 's', 't', 'f':
+			// Flow events need a binding point; scope keeps ids namespaced.
+			b.WriteString(`,"bp":"e","scope":"tuple"`)
+		case 'i':
+			b.WriteString(`,"s":"t"`)
+		}
+		if ev.args != "" {
+			b.WriteString(`,"args":`)
+			b.WriteString(ev.args)
+		}
+		b.WriteString("}")
+		emit(b.String())
+	}
+	bw.str("\n]}\n")
+	return bw.err
+}
+
+// EncodeFolded writes the folded-stack stall account: one line per
+// (operator, bucket) with nonzero cycles, `app;operator;bucket cycles`,
+// in operator order then bucket order. The line total over the whole file
+// equals the machine's ChargedCycles ledger (see EncodeSummary and the
+// conservation test in internal/bench).
+func (t *Tracer) EncodeFolded(w io.Writer) error {
+	bw := &errWriter{w: w}
+	for _, oc := range t.ops {
+		for _, line := range profiler.FromCosts(oc.Costs).Folded(t.app + ";" + oc.Op) {
+			bw.str(line)
+			bw.str("\n")
+		}
+	}
+	return bw.err
+}
+
+// FoldedTotal returns the cycle sum over the folded-stack account.
+func (t *Tracer) FoldedTotal() sim.Cycles {
+	var total sim.Cycles
+	for _, oc := range t.ops {
+		total += oc.Costs.Total()
+	}
+	return total
+}
+
+// EncodeSummary writes a small JSON digest: run identity, sampling
+// configuration, event counts, and the lossless-reconciliation pair
+// (folded_cycles vs charged_cycles).
+func (t *Tracer) EncodeSummary(w io.Writer) error {
+	bw := &errWriter{w: w}
+	folded := t.FoldedTotal()
+	fmt.Fprintf(bw, `{
+  "app": %s,
+  "system": %s,
+  "clock_hz": %d,
+  "sample_every": %d,
+  "queue_cadence_cycles": %d,
+  "sampled_roots": %d,
+  "span_events": %d,
+  "sched_slices": %d,
+  "trace_events": %d,
+  "charged_cycles": %d,
+  "folded_cycles": %d,
+  "lossless": %t
+}
+`, quote(t.app), quote(t.system), t.clockHz,
+		t.cfg.SampleEvery, int64(t.cfg.QueueCadence),
+		t.sampleCount, t.spanCount, t.sliceCount, len(t.events),
+		int64(t.charged), int64(folded), folded == t.charged)
+	return bw.err
+}
+
+// errWriter folds write errors so encoders can stay linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+func (e *errWriter) str(s string) {
+	if e.err == nil {
+		_, e.err = io.WriteString(e.w, s)
+	}
+}
+
+// Summary is the parsed form of summary.json, used by cmd/dsptrace.
+type Summary struct {
+	App           string `json:"app"`
+	System        string `json:"system"`
+	ClockHz       int64  `json:"clock_hz"`
+	SampleEvery   int    `json:"sample_every"`
+	QueueCadence  int64  `json:"queue_cadence_cycles"`
+	SampledRoots  int64  `json:"sampled_roots"`
+	SpanEvents    int64  `json:"span_events"`
+	SchedSlices   int64  `json:"sched_slices"`
+	TraceEvents   int64  `json:"trace_events"`
+	ChargedCycles int64  `json:"charged_cycles"`
+	FoldedCycles  int64  `json:"folded_cycles"`
+	Lossless      bool   `json:"lossless"`
+}

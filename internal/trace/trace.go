@@ -1,0 +1,307 @@
+// Package trace is an opt-in, cycle-exact tracing layer for the simulated
+// runtime. A Tracer attached to an engine.SimConfig collects three streams
+// while a cell runs:
+//
+//   - span traces: every n-th source tuple tree is sampled at the spout and
+//     followed along its causal path — framework invocation overhead, queue
+//     wait, per-tuple execution with the per-Bucket stall breakdown taken
+//     from hw.Machine's charge path, batch/delivery residency (with
+//     cross-socket transfer marks), ack and barrier hops, and sink arrival;
+//   - timeline streams: per-core and per-executor run/yield/block slices
+//     from the simulated scheduler, plus per-queue depth counters sampled
+//     at a configurable cadence on the simulation kernel;
+//   - a folded-stack stall account (`app;operator;bucket cycles`) over the
+//     whole run, reconciled against hw.Machine.ChargedCycles so the trace
+//     is provably lossless.
+//
+// The span and timeline streams serialize as Chrome trace_event JSON
+// (loadable in Perfetto / chrome://tracing); the folded stacks feed
+// standard flamegraph tooling. Every timestamp derives from the simulation
+// kernel's cycle clock — never the wall clock — with one cycle rendered as
+// one nanosecond tick, so traces are byte-identical across repeat runs and
+// harness worker counts. A nil *Tracer disables tracing: the runtime's
+// hooks are nil-guarded on the hot paths and charge nothing when off.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"streamscale/internal/hw"
+	"streamscale/internal/sim"
+)
+
+// Config tunes a Tracer. Zero values select the defaults.
+type Config struct {
+	// SampleEvery samples every n-th source tuple tree at the spout
+	// (default 64; 1 traces every tree).
+	SampleEvery int
+	// QueueCadence is the queue-depth sampling period in simulated cycles
+	// (default 25000, ~10 µs at 2.4 GHz). Negative disables depth sampling.
+	QueueCadence sim.Cycles
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultSampleEvery  = 64
+	DefaultQueueCadence = sim.Cycles(25_000)
+)
+
+// Chrome trace_event process IDs: one synthetic "process" per stream so
+// Perfetto groups tracks meaningfully.
+const (
+	pidSpans     = 1 // tuple span chains, per-executor tids
+	pidCores     = 2 // scheduler slices, per-core tids
+	pidExecutors = 3 // scheduler slices, per-thread tids
+	pidQueues    = 4 // queue-depth counters
+)
+
+// event is one Chrome trace_event entry, held in memory until Encode.
+type event struct {
+	ph   byte
+	name string
+	cat  string
+	pid  int32
+	tid  int32
+	ts   sim.Cycles
+	dur  sim.Cycles // ph 'X' only
+	id   int64      // async/flow id; negative = absent
+	args string     // pre-rendered JSON object (with braces); "" = absent
+}
+
+// OpCost is one operator's share of the run's cycle account, the input to
+// the folded-stack view.
+type OpCost struct {
+	Op    string
+	Costs hw.CostVec
+}
+
+// Tracer accumulates trace streams for one simulated run. It is not safe
+// for concurrent use: like the kernel that feeds it, it belongs to a single
+// simulation goroutine.
+type Tracer struct {
+	cfg Config
+
+	// Run identity, set by Begin/Finish.
+	app     string
+	system  string
+	clockHz int64
+	charged sim.Cycles
+	ops     []OpCost
+	done    bool
+
+	spoutSeen   int64
+	sampled     map[int64]bool // root -> flow-start already emitted
+	asyncSeq    int64
+	spanCount   int64
+	sliceCount  int64
+	sampleCount int64
+
+	events []event
+
+	// Thread-name metadata for the span and executor tracks, keyed by tid.
+	names     map[int32]string
+	nameOrder []int32
+}
+
+// New returns a Tracer with cfg's zero values defaulted.
+func New(cfg Config) *Tracer {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = DefaultSampleEvery
+	}
+	if cfg.QueueCadence == 0 {
+		cfg.QueueCadence = DefaultQueueCadence
+	}
+	return &Tracer{
+		cfg:     cfg,
+		sampled: make(map[int64]bool),
+		names:   make(map[int32]string),
+	}
+}
+
+// QueueCadence returns the configured queue-depth sampling period
+// (non-positive = disabled).
+func (t *Tracer) QueueCadence() sim.Cycles { return t.cfg.QueueCadence }
+
+// Begin records the run identity. The engine calls it once before the
+// simulation starts.
+func (t *Tracer) Begin(app, system string, clockHz int64) {
+	t.app, t.system, t.clockHz = app, system, clockHz
+}
+
+// NameThread registers the display name for an executor's span and
+// timeline tracks.
+func (t *Tracer) NameThread(tid int, name string) {
+	id := int32(tid)
+	if _, ok := t.names[id]; !ok {
+		t.names[id] = name
+		t.nameOrder = append(t.nameOrder, id)
+	}
+}
+
+// SpoutEmit notes one source tuple-tree emission and samples every n-th:
+// a sampled root's whole causal tree (children inherit the root id) is
+// followed by the span hooks below. Returns whether root was sampled.
+func (t *Tracer) SpoutEmit(root int64) bool {
+	if root == 0 {
+		return false
+	}
+	t.spoutSeen++
+	if (t.spoutSeen-1)%int64(t.cfg.SampleEvery) != 0 {
+		return false
+	}
+	if _, ok := t.sampled[root]; !ok {
+		t.sampled[root] = false
+		t.sampleCount++
+	}
+	return true
+}
+
+// Sampled reports whether root belongs to a sampled tuple tree.
+func (t *Tracer) Sampled(root int64) bool {
+	if root == 0 || len(t.sampled) == 0 {
+		return false
+	}
+	_, ok := t.sampled[root]
+	return ok
+}
+
+// Invoke records one framework-dispatch span (executor invocation overhead
+// charged before a batch containing sampled tuples is processed). before
+// and after are the executor's cycle account around the charge.
+func (t *Tracer) Invoke(exec int, op string, start, dur sim.Cycles, before, after hw.CostVec) {
+	t.spanCount++
+	t.events = append(t.events, event{
+		ph: 'X', name: "invoke", cat: "span", pid: pidSpans, tid: int32(exec),
+		ts: start, dur: dur, id: -1,
+		args: `{"op":` + quote(op) + bucketArgs(before, after) + `}`,
+	})
+}
+
+// QueueWait records the time a sampled tuple spent in a consumer's input
+// queue, as an async span on the consumer's track.
+func (t *Tracer) QueueWait(exec int, fromOp, toOp string, root int64, enqueued, popped sim.Cycles) {
+	if popped < enqueued {
+		popped = enqueued
+	}
+	t.spanCount++
+	id := t.nextAsync()
+	args := fmt.Sprintf(`{"root":%d,"from":%s,"to":%s,"cycles":%d}`,
+		root, quote(fromOp), quote(toOp), int64(popped-enqueued))
+	t.events = append(t.events,
+		event{ph: 'b', name: "queue-wait", cat: "queue", pid: pidSpans, tid: int32(exec), ts: enqueued, id: id, args: args},
+		event{ph: 'e', name: "queue-wait", cat: "queue", pid: pidSpans, tid: int32(exec), ts: popped, id: id})
+}
+
+// Execute records the processing of one sampled tuple on an executor: a
+// complete span carrying the per-bucket stall breakdown accumulated by the
+// hardware model's charge path during the span, plus the flow step that
+// links the tuple's hops into one chain.
+func (t *Tracer) Execute(exec int, op string, root int64, start, dur sim.Cycles, before, after hw.CostVec) {
+	t.spanCount++
+	t.events = append(t.events, event{
+		ph: 'X', name: "execute", cat: "span", pid: pidSpans, tid: int32(exec),
+		ts: start, dur: dur, id: -1,
+		args: fmt.Sprintf(`{"op":%s,"root":%d,"cycles":%d%s}`, quote(op), root, int64(dur), bucketArgs(before, after)),
+	})
+	ph := byte('t')
+	if started := t.sampled[root]; !started {
+		ph = 's'
+		t.sampled[root] = true
+	}
+	t.events = append(t.events, event{
+		ph: ph, name: "tuple", cat: "flow", pid: pidSpans, tid: int32(exec), ts: start, id: root,
+	})
+}
+
+// Deliver records a sampled tuple's residency between its emission and the
+// successful enqueue into the consumer's queue (output buffering, Algorithm
+// 1 batch formation, and backpressure wait), with the cross-socket transfer
+// marked when producer and consumer queue memory live on different sockets.
+func (t *Tracer) Deliver(exec int, fromOp, toOp string, root int64, emitAt, enqueueAt sim.Cycles, fromSocket, toSocket int) {
+	if enqueueAt < emitAt {
+		enqueueAt = emitAt
+	}
+	t.spanCount++
+	id := t.nextAsync()
+	args := fmt.Sprintf(`{"root":%d,"from":%s,"to":%s,"cycles":%d,"xsocket":%t}`,
+		root, quote(fromOp), quote(toOp), int64(enqueueAt-emitAt), fromSocket != toSocket)
+	t.events = append(t.events,
+		event{ph: 'b', name: "deliver", cat: "deliver", pid: pidSpans, tid: int32(exec), ts: emitAt, id: id, args: args},
+		event{ph: 'e', name: "deliver", cat: "deliver", pid: pidSpans, tid: int32(exec), ts: enqueueAt, id: id})
+	if fromSocket != toSocket {
+		t.events = append(t.events, event{
+			ph: 'i', name: "xsocket", cat: "deliver", pid: pidSpans, tid: int32(exec), ts: enqueueAt, id: -1,
+			args: fmt.Sprintf(`{"root":%d,"from_socket":%d,"to_socket":%d}`, root, fromSocket, toSocket),
+		})
+	}
+}
+
+// Barrier records a checkpoint-barrier hop: emission at a source or aligned
+// forwarding at a downstream executor.
+func (t *Tracer) Barrier(exec int, op string, barrierID int64, at sim.Cycles) {
+	t.events = append(t.events, event{
+		ph: 'i', name: "barrier", cat: "span", pid: pidSpans, tid: int32(exec), ts: at, id: -1,
+		args: fmt.Sprintf(`{"op":%s,"id":%d}`, quote(op), barrierID),
+	})
+}
+
+// Sink records a sampled tuple's arrival at a sink: the end of its flow
+// chain, with the end-to-end latency in cycles.
+func (t *Tracer) Sink(exec int, op string, root int64, at, e2e sim.Cycles) {
+	t.events = append(t.events,
+		event{ph: 'i', name: "sink", cat: "span", pid: pidSpans, tid: int32(exec), ts: at, id: -1,
+			args: fmt.Sprintf(`{"op":%s,"root":%d,"e2e_cycles":%d}`, quote(op), root, int64(e2e))},
+		event{ph: 'f', name: "tuple", cat: "flow", pid: pidSpans, tid: int32(exec), ts: at, id: root})
+}
+
+// Slice records one scheduler dispatch: thread tid ran on core for
+// [start, start+dur) and left in state disp ("yield", "blocked", "done").
+// The slice lands on both the per-core and the per-executor timeline.
+func (t *Tracer) Slice(tid int, name string, core int, start, dur sim.Cycles, disp string) {
+	t.sliceCount++
+	args := fmt.Sprintf(`{"thread":%s,"core":%d,"disp":%s}`, quote(name), core, quote(disp))
+	t.events = append(t.events,
+		event{ph: 'X', name: name, cat: "sched", pid: pidCores, tid: int32(core), ts: start, dur: dur, id: -1, args: args},
+		event{ph: 'X', name: "run", cat: "sched", pid: pidExecutors, tid: int32(tid), ts: start, dur: dur, id: -1, args: args})
+}
+
+// QueueDepth records one sample of an executor input queue's depth.
+func (t *Tracer) QueueDepth(exec int, label string, at sim.Cycles, depth int) {
+	t.events = append(t.events, event{
+		ph: 'C', name: "q " + label, cat: "queue", pid: pidQueues, tid: 0, ts: at, id: -1,
+		args: fmt.Sprintf(`{"depth":%d}`, depth),
+	})
+}
+
+// Finish closes the run: it stores the folded-stack input (per-operator
+// cycle accounts) and the machine's conservation ledger the folded view is
+// reconciled against.
+func (t *Tracer) Finish(charged sim.Cycles, ops []OpCost) {
+	t.charged = charged
+	t.ops = ops
+	t.done = true
+}
+
+// SampledRoots returns how many tuple trees were sampled.
+func (t *Tracer) SampledRoots() int64 { return t.sampleCount }
+
+func (t *Tracer) nextAsync() int64 {
+	t.asyncSeq++
+	return t.asyncSeq
+}
+
+// bucketArgs renders the charge-path delta between two cycle-account
+// snapshots as JSON members (leading comma), one per nonzero bucket.
+func bucketArgs(before, after hw.CostVec) string {
+	var b strings.Builder
+	for bk := hw.Bucket(0); bk < hw.NumBuckets; bk++ {
+		if d := after[bk] - before[bk]; d != 0 {
+			fmt.Fprintf(&b, `,%s:%d`, quote(bk.String()), int64(d))
+		}
+	}
+	return b.String()
+}
+
+func quote(s string) string { return strconv.Quote(s) }

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streamscale/internal/hw"
+	"streamscale/internal/sim"
+)
+
+func TestSpoutSampling(t *testing.T) {
+	tr := New(Config{SampleEvery: 4})
+	var hits int
+	for root := int64(1); root <= 16; root++ {
+		if tr.SpoutEmit(root) {
+			hits++
+			if !tr.Sampled(root) {
+				t.Fatalf("root %d sampled but Sampled() false", root)
+			}
+		} else if tr.Sampled(root) {
+			t.Fatalf("root %d not sampled but Sampled() true", root)
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("sampled %d of 16 at every=4, want 4", hits)
+	}
+	if tr.SampledRoots() != 4 {
+		t.Fatalf("SampledRoots = %d, want 4", tr.SampledRoots())
+	}
+	if tr.SpoutEmit(0) || tr.Sampled(0) {
+		t.Fatal("root 0 (untracked) must never sample")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	tr := New(Config{})
+	if tr.cfg.SampleEvery != DefaultSampleEvery {
+		t.Fatalf("SampleEvery default = %d", tr.cfg.SampleEvery)
+	}
+	if tr.QueueCadence() != DefaultQueueCadence {
+		t.Fatalf("QueueCadence default = %d", tr.QueueCadence())
+	}
+	if New(Config{QueueCadence: -1}).QueueCadence() >= 0 {
+		t.Fatal("negative cadence must stay disabled")
+	}
+}
+
+func TestTimestampRendering(t *testing.T) {
+	for _, tc := range []struct {
+		c    sim.Cycles
+		want string
+	}{
+		{0, "0.000"},
+		{1, "0.001"},
+		{999, "0.999"},
+		{1000, "1.000"},
+		{1234567, "1234.567"},
+	} {
+		if got := ts(tc.c); got != tc.want {
+			t.Errorf("ts(%d) = %q, want %q", tc.c, got, tc.want)
+		}
+	}
+}
+
+// populate records one of every event kind.
+func populate(tr *Tracer) {
+	tr.Begin("wc", "storm", 2_400_000_000)
+	tr.NameThread(3, "counter[0]")
+	tr.NameThread(1, "splitter[1]")
+	tr.SpoutEmit(7)
+	var before, after hw.CostVec
+	after[hw.TC] = 100
+	after[hw.BeLLCRemote] = 40
+	tr.Invoke(1, "splitter", 1000, 140, before, after)
+	tr.QueueWait(1, "spout", "splitter", 7, 900, 1000)
+	tr.Execute(1, "splitter", 7, 1140, 140, before, after)
+	tr.Deliver(1, "splitter", "counter", 7, 1280, 1400, 0, 1)
+	tr.Execute(3, "counter", 7, 1500, 90, before, after)
+	tr.Barrier(1, "splitter", 2, 1600)
+	tr.Sink(3, "sink", 7, 1700, 800)
+	tr.Slice(1, "splitter[1]", 0, 1000, 500, "yield")
+	tr.QueueDepth(3, "counter[0]", 25000, 12)
+	tr.Finish(230, []OpCost{
+		{Op: "splitter", Costs: after},
+		{Op: "counter", Costs: hw.CostVec{hw.TC: 90}},
+	})
+}
+
+func TestEncodeTraceValidJSONAndDeterministic(t *testing.T) {
+	render := func() []byte {
+		tr := New(Config{SampleEvery: 1})
+		populate(tr)
+		var buf bytes.Buffer
+		if err := tr.EncodeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !json.Valid(a) {
+		t.Fatalf("trace is not valid JSON:\n%s", a)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("trace encoding is not deterministic across identical recordings")
+	}
+	for _, want := range []string{
+		`"name":"execute"`, `"name":"queue-wait"`, `"name":"deliver"`,
+		`"name":"xsocket"`, `"name":"barrier"`, `"name":"sink"`,
+		`"ph":"s"`, `"ph":"f"`, `"ph":"C"`,
+		`"name":"counter[0]"`, `"llc-miss-remote":40`,
+	} {
+		if !bytes.Contains(a, []byte(want)) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+}
+
+func TestEncodeFoldedReconciles(t *testing.T) {
+	tr := New(Config{})
+	populate(tr)
+	var buf bytes.Buffer
+	if err := tr.EncodeFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		parts := strings.Split(line, " ")
+		if len(parts) != 2 {
+			t.Fatalf("malformed folded line %q", line)
+		}
+		stack := strings.Split(parts[0], ";")
+		if len(stack) != 3 || stack[0] != "wc" {
+			t.Fatalf("malformed stack %q", parts[0])
+		}
+		c, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad cycle count in %q: %v", line, err)
+		}
+		total += c
+	}
+	if sim.Cycles(total) != tr.FoldedTotal() {
+		t.Fatalf("folded file total %d != FoldedTotal %d", total, tr.FoldedTotal())
+	}
+	if tr.FoldedTotal() != 230 {
+		t.Fatalf("FoldedTotal = %d, want 230 (the charged ledger)", tr.FoldedTotal())
+	}
+}
+
+func TestEncodeSummaryRoundTrips(t *testing.T) {
+	tr := New(Config{})
+	populate(tr)
+	var buf bytes.Buffer
+	if err := tr.EncodeSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("summary does not parse: %v\n%s", err, buf.String())
+	}
+	if s.App != "wc" || s.System != "storm" || !s.Lossless {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.ChargedCycles != 230 || s.FoldedCycles != 230 {
+		t.Fatalf("reconciliation pair = %d/%d, want 230/230", s.ChargedCycles, s.FoldedCycles)
+	}
+}
+
+func TestWriteProducesThreeFiles(t *testing.T) {
+	tr := New(Config{})
+	populate(tr)
+	dir := t.TempDir()
+	if err := tr.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{TraceFile, FoldedFile, SummaryFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}
