@@ -40,3 +40,15 @@ for f in trace.json stalls.folded summary.json; do
   test -s "$BENCH_DIR/trace_out/$f" || { echo "ci: missing trace artifact $f" >&2; exit 1; }
 done
 go run ./cmd/dsptrace "$BENCH_DIR/trace_out" >/dev/null
+# Native smoke stage: the lock-free runtime under the race detector (the
+# goroutine-per-executor + SPSC-ring fabric is exactly what -race exists
+# for), then a record-producing run on the release build.
+go build -race -o "$BENCH_DIR/dspbench-race" ./cmd/dspbench
+(cd "$BENCH_DIR" && ./dspbench-race -native -app wc -system storm -batch 4 -events 2000 >/dev/null)
+(cd "$BENCH_DIR" && ./dspbench -native -app wc -system storm -batch 4 -chain -json >/dev/null)
+test -s "$BENCH_DIR/BENCH_native_wc_storm.json" || { echo "ci: missing BENCH_native_wc_storm.json" >&2; exit 1; }
+# Performance stage (non-race: wall-clock assertions): the ring runtime
+# must stay >= 2x the preserved channel runtime on wc/storm/S=4, and the
+# executor-to-executor ring hop must stay allocation-free.
+DSP_PERF=1 go test -run TestNativePipelineSpeedup -count=1 ./internal/engine/
+go test -run 'TestRingTransferZeroAllocs|TestRingMsgTransferZeroAllocs' -count=1 ./internal/ring/ ./internal/engine/

@@ -36,7 +36,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		place   = flag.Bool("place", false, "apply NUMA-aware executor placement (best plan by Eq. 1 cost)")
 		profile = flag.Bool("profile", true, "print the Table II processor-time breakdown")
-		native  = flag.Bool("native", false, "run on the native goroutine runtime (real wall-clock, no processor model)")
+		native   = flag.Bool("native", false, "run on the native goroutine runtime (real wall-clock, no processor model)")
+		chain    = flag.Bool("chain", false, "with -native: apply operator chaining before running")
+		validate = flag.Bool("validate", false, "with -native: run the simulator-validation loop (effect ratios, sim vs native) and exit")
 		jobs    = flag.Int("jobs", runtime.NumCPU(), "parallel simulation cells for multi-run steps like -place")
 		cache   = flag.String("cache", "", "persistent result cache directory (results are identical with or without it)")
 		jsonOut = flag.Bool("json", false, "also write a machine-readable BENCH_<app>_<system>.json trajectory record")
@@ -65,7 +67,11 @@ func main() {
 	}
 
 	if *native {
-		runNative(*app, *system, *batch, *events, *scale, *seed)
+		if *validate {
+			runNativeValidate()
+			return
+		}
+		runNative(*app, *system, *batch, *events, *scale, *seed, *chain, *jsonOut)
 		return
 	}
 
@@ -201,7 +207,7 @@ func fail(err error) {
 
 // runNative executes the cell on the real goroutine runtime and reports
 // host wall-clock performance.
-func runNative(app, system string, batch, events, scale int, seed int64) {
+func runNative(app, system string, batch, events, scale int, seed int64, chain, jsonOut bool) {
 	if events <= 0 {
 		events = 5000
 	}
@@ -212,7 +218,7 @@ func runNative(app, system string, batch, events, scale int, seed int64) {
 		sys = engine.Flink()
 	}
 	res, err := engine.RunNative(topo, engine.NativeConfig{
-		System: sys, BatchSize: batch, Seed: seed,
+		System: sys, BatchSize: batch, Seed: seed, Chaining: chain,
 	})
 	fail(err)
 	fmt.Printf("%s on %s (native runtime, this host)\n", app, system)
@@ -223,4 +229,69 @@ func runNative(app, system string, batch, events, scale int, seed int64) {
 	if res.AckerCompleted > 0 {
 		fmt.Printf("  acker        %d/%d tuple trees completed\n", res.AckerCompleted, res.SourceEvents)
 	}
+	if jsonOut {
+		name, err := writeNativeBenchJSON(app, system, batch, chain, res)
+		fail(err)
+		fmt.Fprintln(os.Stderr, "dspbench: wrote", name)
+	}
+}
+
+// runNativeValidate runs the simulator-validation loop over the default
+// (app, system) grid and prints the effect-ratio table.
+func runNativeValidate() {
+	v, err := bench.ValidateNative(bench.DefaultValidationCells(), 3)
+	fail(err)
+	fmt.Printf("simulator-validation loop: optimization effect ratios, simulated vs native (best of %d)\n", v.Reps)
+	fmt.Print(v.String())
+}
+
+// nativeBenchRecord is the machine-readable record -native -json emits.
+// Unlike dspbench/v1 records it describes a wall-clock measurement on this
+// host, so it carries the host shape instead of a simulated machine slice
+// and is NOT reproducible across machines.
+type nativeBenchRecord struct {
+	Schema string `json:"schema"` // "dspbench-native/v1"
+
+	App      string `json:"app"`
+	System   string `json:"system"`
+	Batch    int    `json:"batch"`
+	Chaining bool   `json:"chaining"`
+
+	ThroughputKps float64 `json:"throughput_k_events_per_s"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	SourceEvents  int64   `json:"source_events"`
+	SinkEvents    int64   `json:"sink_events"`
+	WallSeconds   float64 `json:"wall_seconds"`
+
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+func writeNativeBenchJSON(app, system string, batch int, chain bool, res *engine.Result) (string, error) {
+	rec := nativeBenchRecord{
+		Schema:        "dspbench-native/v1",
+		App:           app,
+		System:        system,
+		Batch:         batch,
+		Chaining:      chain,
+		ThroughputKps: res.Throughput().KPerSecond(),
+		LatencyP50Ms:  res.Latency.Quantile(0.5),
+		LatencyP99Ms:  res.Latency.Quantile(0.99),
+		SourceEvents:  res.SourceEvents,
+		SinkEvents:    res.SinkEvents,
+		WallSeconds:   res.ElapsedSeconds,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+	}
+	name := fmt.Sprintf("BENCH_native_%s_%s.json", app, system)
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return name, os.WriteFile(name, append(data, '\n'), 0o666)
 }

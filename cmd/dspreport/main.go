@@ -250,8 +250,18 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress the sweep progress line on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		nativeVal  = flag.Bool("native-validate", false, "run the native-runtime validation loop and exit (wall-clock on this host; NOT deterministic, so it is never part of the default experiment set)")
 	)
 	flag.Parse()
+	if *nativeVal {
+		v, err := bench.ValidateNative(bench.DefaultValidationCells(), 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dspreport:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("native validation (optimization effect ratios, sim vs this host, best of %d)\n%s", v.Reps, v.String())
+		return
+	}
 	bench.SetJobs(*jobs)
 	if *quiet {
 		bench.SetProgress(false)

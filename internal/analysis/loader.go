@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -145,9 +147,15 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildIncluded(f) {
+			continue
+		}
 		files = append(files, f)
 		det := l.Deterministic != nil && l.Deterministic(path, n)
 		srcs = append(srcs, &SourceFile{AST: f, Deterministic: det})
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: all Go source files in %s are excluded by build constraints", dir)
 	}
 
 	info := &types.Info{
@@ -208,4 +216,42 @@ func DefaultDeterministic(modPath string) func(importPath, filename string) bool
 		}
 		return false
 	}
+}
+
+// buildIncluded reports whether the file participates in a default (no
+// extra build tags) compilation on this host: GOOS/GOARCH, the gc
+// compiler, "unix" on unix-like systems, and release tags evaluate true;
+// every other tag — notably "race" — evaluates false, matching what a
+// plain `go build` selects. Files with no constraint are always included.
+func buildIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(defaultBuildTag)
+		}
+	}
+	return true
+}
+
+func defaultBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "dragonfly":
+			return true
+		}
+		return false
+	}
+	return strings.HasPrefix(tag, "go1.")
 }

@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"testing"
+
+	"streamscale/internal/engine"
+)
+
+// TestNativeConservationAllApps runs every benchmark application on the
+// native runtime under both system profiles and checks the tuple-flow
+// conservation invariants that hold regardless of operator semantics:
+// sources emit, sink executor stats sum to the sink-event counter, and —
+// under Storm's profile — every emitted root tuple tree is fully XOR-acked
+// before the run drains (the strongest end-to-end "nothing was lost in a
+// ring" check available).
+func TestNativeConservationAllApps(t *testing.T) {
+	for _, app := range BenchmarkNames() {
+		for _, sysName := range []string{"storm", "flink"} {
+			app, sysName := app, sysName
+			t.Run(app+"/"+sysName, func(t *testing.T) {
+				t.Parallel()
+				sys := engine.Storm()
+				if sysName == "flink" {
+					sys = engine.Flink()
+				}
+				topo, err := Build(app, Config{Events: 300, Seed: 9})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := engine.RunNative(topo, engine.NativeConfig{
+					System: sys, BatchSize: 4, Seed: 9,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.SourceEvents == 0 {
+					t.Fatal("no source events")
+				}
+				sinks := make(map[string]bool)
+				for _, n := range topo.Nodes() {
+					if !n.System && !n.IsSource() && len(topo.Consumers(n.Name)) == 0 {
+						sinks[n.Name] = true
+					}
+				}
+				var sinkSum, opTuples int64
+				for _, e := range res.Executors {
+					if sinks[e.Op] {
+						sinkSum += e.Tuples
+					}
+					if e.Op != engine.AckerName {
+						opTuples += e.Tuples
+					}
+				}
+				if sinkSum != res.SinkEvents {
+					t.Errorf("sink executor tuples %d != SinkEvents %d", sinkSum, res.SinkEvents)
+				}
+				switch sysName {
+				case "storm":
+					if res.AckerCompleted != res.SourceEvents {
+						t.Errorf("acked %d of %d tuple trees", res.AckerCompleted, res.SourceEvents)
+					}
+				case "flink":
+					if res.AckerCompleted != 0 {
+						t.Errorf("flink profile acked %d trees, want 0", res.AckerCompleted)
+					}
+				}
+				if opTuples == 0 && res.SinkEvents > 0 {
+					t.Error("sink events recorded but no operator processed tuples")
+				}
+			})
+		}
+	}
+}
+
+// TestNativeChainingPreservesCounts verifies operator fusion on the native
+// runtime: SD's moving-average -> spike-detection hop is chainable (equal
+// parallelism, single shuffle subscription), and fusing it must not change
+// what reaches the sink.
+func TestNativeChainingPreservesCounts(t *testing.T) {
+	build := func() *engine.Topology {
+		topo, err := Build("sd", Config{Events: 500, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return topo
+	}
+	if _, fused, err := engine.ChainTopology(build()); err != nil {
+		t.Fatal(err)
+	} else if len(fused) == 0 {
+		t.Fatal("sd topology has no chainable pair; the fusion test is vacuous")
+	}
+	for _, sysName := range []string{"storm", "flink"} {
+		sys := engine.Storm()
+		if sysName == "flink" {
+			sys = engine.Flink()
+		}
+		var events [2]int64
+		for i, chain := range []bool{false, true} {
+			res, err := engine.RunNative(build(), engine.NativeConfig{
+				System: sys, BatchSize: 4, Seed: 4, Chaining: chain,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			events[i] = res.SinkEvents
+			if sysName == "storm" && res.AckerCompleted != res.SourceEvents {
+				t.Errorf("%s chaining=%v: acked %d of %d tuple trees",
+					sysName, chain, res.AckerCompleted, res.SourceEvents)
+			}
+		}
+		if events[0] != events[1] {
+			t.Errorf("%s: sink events unchained %d != chained %d", sysName, events[0], events[1])
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateNative runs the simulator-validation loop on a scaled-down
+// grid and checks the table's shape: every cell contributes batching and
+// ack rows, topologies with a chainable pair contribute a chaining row,
+// and all ratios are positive and finite.
+func TestValidateNative(t *testing.T) {
+	cells := []Cell{
+		{App: "wc", System: "storm", EventScale: 0.1},
+		{App: "sd", System: "flink", EventScale: 0.05},
+	}
+	v, err := ValidateNative(cells, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]NativeEffectRow)
+	for _, r := range v.Rows {
+		if r.SimRatio <= 0 || r.NativeRatio <= 0 {
+			t.Errorf("%s/%s %s: non-positive ratio sim=%f native=%f",
+				r.App, r.System, r.Effect, r.SimRatio, r.NativeRatio)
+		}
+		if r.RelErr < 0 {
+			t.Errorf("%s/%s %s: negative relative error", r.App, r.System, r.Effect)
+		}
+		byKey[r.App+"/"+r.System+"/"+r.Effect] = r
+	}
+	for _, want := range []string{
+		"wc/storm/batching", "wc/storm/ack",
+		"sd/flink/batching", "sd/flink/ack", "sd/flink/chaining",
+	} {
+		if _, ok := byKey[want]; !ok {
+			t.Errorf("missing validation row %s (have %v)", want, keys(byKey))
+		}
+	}
+	out := v.String()
+	for _, col := range []string{"effect", "sim", "native", "rel.err", "mean error"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("table output missing %q:\n%s", col, out)
+		}
+	}
+	if v.MeanErr("") <= 0 {
+		t.Logf("mean error over all rows is %.3f (zero is suspicious but not impossible)", v.MeanErr(""))
+	}
+}
+
+func keys(m map[string]NativeEffectRow) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

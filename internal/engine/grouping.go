@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 )
 
@@ -59,41 +58,60 @@ func Global() Grouping { return Grouping{Kind: GroupGlobal} }
 // All returns an all grouping (replicate to every executor).
 func All() Grouping { return Grouping{Kind: GroupAll} }
 
+// FNV-1a parameters; the inlined loops below must stay bit-identical to
+// hash/fnv's New64a over the same byte sequences (fnvEquivalence test),
+// because fields-grouping distributions — and with them every simulated
+// result — depend on these exact values.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvU64 is FNV-1a over x's eight little-endian bytes, allocation-free
+// (hash/fnv's hasher object escapes; this runs per routed tuple).
+func fnvU64(x uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(x >> (8 * i)))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnvString is FNV-1a over the string's bytes.
+func fnvString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // HashValue hashes one grouping key field. It is stable across runs and
 // platforms (FNV-1a), which fields grouping correctness depends on.
 func HashValue(v Value) uint64 {
-	h := fnv.New64a()
 	switch x := v.(type) {
 	case string:
-		h.Write([]byte(x))
+		return fnvString(x)
 	case int:
-		writeU64(h, uint64(x))
+		return fnvU64(uint64(x))
 	case int32:
-		writeU64(h, uint64(x))
+		return fnvU64(uint64(x))
 	case int64:
-		writeU64(h, uint64(x))
+		return fnvU64(uint64(x))
 	case uint64:
-		writeU64(h, x)
+		return fnvU64(x)
 	case float64:
-		writeU64(h, math.Float64bits(x))
+		return fnvU64(math.Float64bits(x))
 	case bool:
 		if x {
-			writeU64(h, 1)
-		} else {
-			writeU64(h, 0)
+			return fnvU64(1)
 		}
+		return fnvU64(0)
 	default:
 		panic(fmt.Sprintf("engine: unhashable grouping key type %T", v))
 	}
-	return h.Sum64()
-}
-
-func writeU64(h interface{ Write([]byte) (int, error) }, x uint64) {
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(x >> (8 * i))
-	}
-	h.Write(b[:])
 }
 
 // HashFields combines the selected field indices of a tuple into one key
@@ -104,4 +122,11 @@ func HashFields(values []Value, idx []int) uint64 {
 		acc = acc*1099511628211 ^ HashValue(values[i])
 	}
 	return acc
+}
+
+// hashAckRoot is HashFields for a Values-free native ack tuple: identical
+// to HashFields([]Value{root}, []int{0}) without boxing the root.
+func hashAckRoot(root int64) uint64 {
+	var acc uint64 = 1469598103934665603
+	return acc*1099511628211 ^ fnvU64(uint64(root))
 }

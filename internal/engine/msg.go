@@ -2,6 +2,13 @@ package engine
 
 // Msg is the unit of transfer between executors: a batch of tuples from one
 // producer executor on one stream, or an end-of-stream marker.
+//
+// On the native runtime Msg values travel by copy through SPSC rings
+// (internal/ring) and the Batch slab is recycled: after the consumer
+// processes a batch it clears the slab and returns it to the producer over
+// a free-list ring, so steady-state transfer allocates nothing. A consumer
+// must therefore never retain Batch (or a sub-slice of it) past the
+// processBatch call that delivered it.
 type Msg struct {
 	// FromGlobal is the producing executor's global index.
 	FromGlobal int

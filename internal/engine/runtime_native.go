@@ -4,11 +4,31 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"streamscale/internal/metrics"
+	"streamscale/internal/ring"
 )
+
+// The native runtime executes a topology with one goroutine per executor,
+// connected by the lock-free SPSC rings of internal/ring rather than Go
+// channels. Its data path is built around the same costs the paper's
+// profiling identified — message passing, acking, batching — so the
+// simulator's predicted effect ratios can be validated against real
+// hardware (internal/bench ValidateNative):
+//
+//   - every producer→consumer executor pair owns a private SPSC ring;
+//     a consumer drains its rings round-robin through an MPSC front
+//   - batch slabs ([]Tuple) are recycled consumer→producer over a second
+//     tiny ring per pair, so steady-state transfer does not allocate
+//   - emit buffers are a stream-indexed array, ack accumulators are
+//     reused maps, Born timestamps are taken once per source invocation,
+//     and the sink clock is read only when the latency sampler fires
+//   - backpressure is credit-based: a producer facing a full ring parks
+//     on the ring's waiter and is woken by the consumer's next pop
+//   - operator chaining (chaining.go) optionally fuses forwardable
+//     operator pairs before the executor graph is built, removing the
+//     queue hop entirely
 
 // NativeConfig configures a run on the native (goroutine) runtime.
 type NativeConfig struct {
@@ -18,14 +38,22 @@ type NativeConfig struct {
 	// BatchSize is the source batch size S of the paper's §VI-A;
 	// 1 (or 0) disables batching.
 	BatchSize int
-	// QueueCap overrides the profile's executor queue capacity.
+	// QueueCap overrides the profile's executor queue capacity (messages
+	// buffered per consumer, split across its producer rings).
 	QueueCap int
 	// Seed drives all per-executor randomness.
 	Seed int64
 	// LatencySampleEvery samples end-to-end latency every n-th sink tuple
-	// (default 16).
+	// (default 16, capped at 2^30 so countdown arithmetic cannot overflow).
 	LatencySampleEvery int
+	// Chaining fuses forwardable operator pairs (ChainTopology) before
+	// building the executor graph.
+	Chaining bool
 }
+
+// maxLatencySampleEvery caps the sampling period; beyond this a run simply
+// never samples, which is what an absurd config is asking for anyway.
+const maxLatencySampleEvery = 1 << 30
 
 func (c *NativeConfig) fill() {
 	if c.BatchSize <= 0 {
@@ -40,39 +68,65 @@ func (c *NativeConfig) fill() {
 	if c.LatencySampleEvery <= 0 {
 		c.LatencySampleEvery = 16
 	}
+	if c.LatencySampleEvery > maxLatencySampleEvery {
+		c.LatencySampleEvery = maxLatencySampleEvery
+	}
 }
 
-// RunNative executes the topology with real goroutines and channels and
-// returns measured wall-clock results. It blocks until all sources are
-// exhausted and the pipeline has fully drained.
+// RunNative executes the topology with real goroutines and lock-free ring
+// queues and returns measured wall-clock results. It blocks until all
+// sources are exhausted and the pipeline has fully drained.
 func RunNative(t *Topology, cfg NativeConfig) (*Result, error) {
 	cfg.fill()
+	name := t.Name
+	if cfg.Chaining {
+		chained, _, err := ChainTopology(t)
+		if err != nil {
+			return nil, err
+		}
+		t = chained
+	}
 	xt, err := BuildExecTopology(t, cfg.System)
 	if err != nil {
 		return nil, err
 	}
 	rt := &nativeRuntime{cfg: cfg, topo: xt}
 	rt.build()
-	return rt.run(t.Name)
+	return rt.run(name)
 }
 
 type nativeRuntime struct {
 	cfg  NativeConfig
 	topo *Topology
 
-	execs   []*nativeExec
-	byOp    map[string][]*nativeExec
-	rootCtr int64
-
-	sourceEvents int64
-	sinkEvents   int64
+	execs []*nativeExec
+	byOp  map[string][]*nativeExec
 }
 
+// nativeConn is one producer-executor → consumer-executor link: a data
+// ring carrying Msg batches downstream and a free ring recycling drained
+// batch slabs back upstream. Both ends are single-producer/single-consumer
+// by construction (each conn belongs to exactly one producer goroutine and
+// one consumer goroutine), which is what lets the rings stay lock-free.
+type nativeConn struct {
+	to   *nativeExec
+	data *ring.SPSC[Msg]
+	free *ring.SPSC[[]Tuple]
+}
+
+// nativeEdge routes one producer stream to one consumer subscription.
+// pending holds the open (unsent) batch per consumer executor; a batch is
+// sealed and pushed when it reaches batchCap or at the invocation end —
+// the paper's non-blocking batching, nothing is held across invocations.
 type nativeEdge struct {
-	router    *edgeRouter
-	stream    string
-	consumers []*nativeExec
-	system    bool // consumer is a system node (acker): no ack tracking
+	stream   string
+	kind     GroupKind
+	fieldIdx []int // resolved key indices for fields grouping
+	system   bool  // consumer is a system node (acker): no ack tracking
+	batchCap int   // max tuples per delivered batch (<=0: unbounded)
+	rr       int   // shuffle round-robin cursor, persists across invocations
+	conns    []*nativeConn
+	pending  [][]Tuple
 }
 
 type nativeExec struct {
@@ -84,20 +138,41 @@ type nativeExec struct {
 	op  Operator
 	src Source
 
-	in         chan Msg
-	nProducers int
-	edges      map[string][]*nativeEdge // by stream name
+	in      *ring.MPSC[Msg]
+	inConns []*nativeConn // parallel to in's lanes; run ends after one EOS per lane
+
+	outConns []*nativeConn         // distinct downstream executors (one EOS each)
+	connFor  map[int]*nativeConn   // consumer global index → conn
+	edges    [][]*nativeEdge       // indexed by out-stream position in node.Streams
+	ackIdx   int                   // position of AckStream in node.Streams, -1 if none
+
+	// buffers collects the current invocation's emissions per out stream
+	// (stream-indexed array, not a map: EmitTo is the hottest user call).
+	buffers [][]Tuple
+	emitted int // tuples emitted this invocation (batch-target counter)
 
 	rng     *rand.Rand
 	latency *metrics.Histogram
-	sinkN   int64
 	isSink  bool
 
-	// per-invocation state
+	// Per-executor counters, summed after the run (no hot-path atomics).
+	srcEvents   int64
+	sinkN       int64
+	tuples      int64 // input tuples processed (sim ExecStat parity)
+	invocations int64
+	rootSeq     int64 // per-source root counter; IDs are global<<40|seq
+	born        int64 // coarse Born stamp, one clock read per invocation
+	sampleIn    int   // countdown to the next latency sample
+
 	ctx      *nativeCtx
-	buffers  map[string][]Tuple
-	ackAccum map[int64]int64
+	ackAccum []ackPair // per-invocation XOR accumulator, reused
 }
+
+// ackPair is one root's running XOR for the current invocation. A slice
+// with linear search beats a map here: an invocation touches at most a
+// batch's worth of distinct roots, and the slice iterates in insertion
+// order without hashing.
+type ackPair struct{ root, xor int64 }
 
 func (rt *nativeRuntime) build() {
 	rt.byOp = make(map[string][]*nativeExec)
@@ -106,16 +181,24 @@ func (rt *nativeRuntime) build() {
 		for i := 0; i < n.Parallelism; i++ {
 			e := &nativeExec{
 				rt: rt, node: n, index: i, global: global,
-				rng:     rand.New(rand.NewSource(rt.cfg.Seed + int64(global)*7919 + 1)),
-				buffers: make(map[string][]Tuple),
-				edges:   make(map[string][]*nativeEdge),
-				latency: metrics.NewHistogram(1 << 14),
+				rng:      rand.New(rand.NewSource(rt.cfg.Seed + int64(global)*7919 + 1)),
+				latency:  metrics.NewHistogram(1 << 14),
+				buffers:  make([][]Tuple, len(n.Streams)),
+				edges:    make([][]*nativeEdge, len(n.Streams)),
+				ackIdx:  -1,
+				connFor: make(map[int]*nativeConn),
+				sampleIn: rt.cfg.LatencySampleEvery,
+			}
+			for si := range n.Streams {
+				if n.Streams[si].Name == AckStream {
+					e.ackIdx = si
+				}
 			}
 			if n.IsSource() {
 				e.src = n.NewSource()
 			} else {
 				e.op = n.NewOp()
-				e.in = make(chan Msg, rt.cfg.QueueCap)
+				e.in = ring.NewMPSC[Msg]()
 			}
 			e.isSink = isSink(n)
 			rt.execs = append(rt.execs, e)
@@ -123,23 +206,107 @@ func (rt *nativeRuntime) build() {
 			global++
 		}
 	}
-	// Wire edges and count producers.
+
+	// Ring sizing: QueueCap is the consumer's total message budget, split
+	// across its distinct producer executors (each of which gets its own
+	// SPSC lane). Count distinct producer *nodes* once even when several
+	// streams connect the same pair.
+	producerExecs := make(map[string]int)
 	for _, n := range rt.topo.Nodes() {
+		seen := make(map[string]bool)
 		for _, ed := range rt.topo.Consumers(n.Name) {
-			ss, _ := n.OutStream(ed.Sub.Stream)
-			for _, pe := range rt.byOp[n.Name] {
-				pe.edges[ed.Sub.Stream] = append(pe.edges[ed.Sub.Stream], &nativeEdge{
-					router:    newEdgeRouter(ss, ed.Sub, ed.Consumer.Parallelism),
-					stream:    ed.Sub.Stream,
-					consumers: rt.byOp[ed.Consumer.Name],
-					system:    ed.Consumer.System,
-				})
-			}
-			for _, ce := range rt.byOp[ed.Consumer.Name] {
-				ce.nProducers += n.Parallelism
+			if !seen[ed.Consumer.Name] {
+				seen[ed.Consumer.Name] = true
+				producerExecs[ed.Consumer.Name] += n.Parallelism
 			}
 		}
 	}
+
+	for _, n := range rt.topo.Nodes() {
+		for _, ed := range rt.topo.Consumers(n.Name) {
+			ss, _ := n.OutStream(ed.Sub.Stream)
+			si := streamIndex(n.Streams, ed.Sub.Stream)
+			var fieldIdx []int
+			if ed.Sub.Group.Kind == GroupFields {
+				fieldIdx = FieldIndices(ss, ed.Sub.Group.Fields)
+			}
+			batchCap := 4 * rt.cfg.BatchSize
+			if ed.Sub.Stream == AckStream {
+				batchCap = 0 // ack batches may grow within an invocation
+			}
+			for _, pe := range rt.byOp[n.Name] {
+				ne := &nativeEdge{
+					stream:   ed.Sub.Stream,
+					kind:     ed.Sub.Group.Kind,
+					fieldIdx: fieldIdx,
+					system:   ed.Consumer.System,
+					batchCap: batchCap,
+				}
+				for _, ce := range rt.byOp[ed.Consumer.Name] {
+					ne.conns = append(ne.conns, pe.connTo(ce, producerExecs[ce.node.Name]))
+				}
+				ne.pending = make([][]Tuple, len(ne.conns))
+				pe.edges[si] = append(pe.edges[si], ne)
+			}
+		}
+	}
+
+	// Pre-fill every free ring to capacity: the slab arena is allocated
+	// once here, at build time, so steady-state transfer allocates nothing
+	// even before the first recycled slab comes back.
+	slabCap := 4 * rt.cfg.BatchSize
+	if slabCap < 16 {
+		slabCap = 16
+	}
+	for _, e := range rt.execs {
+		for _, c := range e.outConns {
+			for c.free.TryPush(make([]Tuple, 0, slabCap)) {
+			}
+		}
+	}
+}
+
+// maxConnMsgs caps one producer→consumer ring's depth. Beyond a few dozen
+// in-flight batches, extra depth only adds latency and slab population —
+// a consumer that far behind needs backpressure, not buffer.
+const maxConnMsgs = 64
+
+// connTo returns (creating on first use) the producer→consumer link. Each
+// distinct executor pair gets exactly one conn regardless of how many
+// streams or subscriptions connect the operators, so EOS accounting is
+// one marker per pair.
+func (e *nativeExec) connTo(ce *nativeExec, producers int) *nativeConn {
+	if c, ok := e.connFor[ce.global]; ok {
+		return c
+	}
+	capMsgs := e.rt.cfg.QueueCap / producers
+	if capMsgs < 2 {
+		capMsgs = 2
+	}
+	if capMsgs > maxConnMsgs {
+		capMsgs = maxConnMsgs
+	}
+	// The free ring matches the data ring's capacity: every slab that can
+	// be in flight has a recycling slot, so a lagging consumer never
+	// forces the producer to allocate (slabs overflowing it go to GC).
+	c := &nativeConn{
+		to:   ce,
+		data: ce.in.AddProducer(capMsgs),
+		free: ring.NewSPSC[[]Tuple](capMsgs, nil),
+	}
+	ce.inConns = append(ce.inConns, c) // same order as the MPSC lanes
+	e.connFor[ce.global] = c
+	e.outConns = append(e.outConns, c)
+	return c
+}
+
+func streamIndex(streams []StreamSpec, name string) int {
+	for i := range streams {
+		if streams[i].Name == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // isSink reports whether a node has no user output streams.
@@ -168,17 +335,19 @@ func (rt *nativeRuntime) run(app string) (*Result, error) {
 	res := &Result{
 		App:            app,
 		System:         rt.cfg.System.Name,
-		SourceEvents:   atomic.LoadInt64(&rt.sourceEvents),
-		SinkEvents:     atomic.LoadInt64(&rt.sinkEvents),
 		ElapsedSeconds: elapsed,
+		WallSeconds:    elapsed,
 		Latency:        metrics.NewHistogram(1 << 16),
 	}
 	for _, e := range rt.execs {
+		res.SourceEvents += e.srcEvents
+		res.SinkEvents += e.sinkN
 		for _, s := range e.latency.Samples() {
 			res.Latency.Observe(s)
 		}
 		res.Executors = append(res.Executors, ExecStat{
-			Op: e.node.Name, Index: e.index, Socket: -1, Tuples: e.sinkN,
+			Op: e.node.Name, Index: e.index, Socket: -1,
+			Tuples: e.tuples, Invocations: e.invocations,
 		})
 		if a, ok := e.op.(*Acker); ok {
 			res.AckerCompleted += a.Completed()
@@ -197,46 +366,43 @@ func (e *nativeExec) loop() {
 		return
 	}
 	e.op.Prepare(e.ctx)
-	eos := 0
-	for eos < e.nProducers {
-		msg := <-e.in
+	live := len(e.inConns)
+	for live > 0 {
+		msg, lane := e.in.Pop()
 		if msg.EOS {
-			eos++
+			live--
 			continue
 		}
-		e.processBatch(msg)
+		e.processBatch(msg, lane)
 	}
 	e.finish()
 }
 
 // sourceInvocation emits up to BatchSize tuples; returns false at EOS.
+// One clock read stamps every tuple born this invocation (coarse Born):
+// at batch sizes worth measuring, per-tuple timestamps are themselves a
+// measurable cost, exactly the effect the runtime exists to quantify.
 func (e *nativeExec) sourceInvocation() bool {
-	target := e.rt.cfg.BatchSize
-	n := 0
+	e.invocations++
+	e.born = time.Now().UnixNano()
+	e.emitted = 0
 	alive := true
-	for n < target && alive {
-		before := e.emittedThisInvocation()
+	for e.emitted < e.rt.cfg.BatchSize && alive {
 		alive = e.src.Next(e.ctx)
-		n += e.emittedThisInvocation() - before
 	}
 	e.endInvocation()
 	return alive
 }
 
-func (e *nativeExec) emittedThisInvocation() int {
-	n := 0
-	for _, b := range e.buffers {
-		n += len(b)
-	}
-	return n
-}
-
-func (e *nativeExec) processBatch(msg Msg) {
+func (e *nativeExec) processBatch(msg Msg, lane int) {
+	e.invocations++
+	e.tuples += int64(len(msg.Batch))
+	ack := e.ackTracking()
 	for i := range msg.Batch {
 		t := &msg.Batch[i]
 		e.ctx.curInput = t
 		e.ctx.inOp, e.ctx.inStream = msg.FromOp, msg.Stream
-		if e.ackTracking() {
+		if ack {
 			e.accumAck(t.Root, t.Edge)
 		}
 		if e.isSink {
@@ -245,7 +411,19 @@ func (e *nativeExec) processBatch(msg Msg) {
 		e.op.Process(e.ctx, *t)
 	}
 	e.ctx.curInput = nil
+	e.recycle(lane, msg.Batch)
 	e.endInvocation()
+}
+
+// recycle clears a drained batch slab and offers it back to the producer.
+// Tuples were handed to the operator by value, so dropping the slab's
+// references here is safe; if the free ring is full the slab goes to GC.
+func (e *nativeExec) recycle(lane int, batch []Tuple) {
+	if batch == nil {
+		return
+	}
+	clear(batch)
+	e.inConns[lane].free.TryPush(batch[:0])
 }
 
 func (e *nativeExec) ackTracking() bool {
@@ -256,97 +434,177 @@ func (e *nativeExec) accumAck(root, edge int64) {
 	if root == 0 {
 		return // unanchored tuple tree
 	}
-	if e.ackAccum == nil {
-		e.ackAccum = make(map[int64]int64)
+	for i := range e.ackAccum {
+		if e.ackAccum[i].root == root {
+			e.ackAccum[i].xor ^= edge
+			return
+		}
 	}
-	e.ackAccum[root] ^= edge
+	e.ackAccum = append(e.ackAccum, ackPair{root: root, xor: edge})
 }
 
+// observeSink counts the tuple and samples end-to-end latency on a
+// countdown — the clock is read only when the sampler actually fires.
 func (e *nativeExec) observeSink(t *Tuple) {
 	e.sinkN++
-	atomic.AddInt64(&e.rt.sinkEvents, 1)
-	if e.sinkN%int64(e.rt.cfg.LatencySampleEvery) == 0 {
+	e.sampleIn--
+	if e.sampleIn <= 0 {
+		e.sampleIn = e.rt.cfg.LatencySampleEvery
 		e.latency.Observe(float64(time.Now().UnixNano()-t.Born) / 1e6)
 	}
 }
 
 // endInvocation implements the non-blocking batching boundary: everything
-// emitted during this invocation is routed now, per-consumer batches are
-// delivered, ack messages are generated from the delivered edges, and
-// nothing is held back for a later flush.
+// emitted during this invocation is routed into per-consumer batches and
+// delivered now — nothing is held back for a later flush.
 func (e *nativeExec) endInvocation() {
-	for _, n := range e.node.Streams {
-		buf := e.buffers[n.Name]
-		if len(buf) == 0 {
-			continue
-		}
-		e.buffers[n.Name] = nil
-		for _, ed := range e.edges[n.Name] {
-			batches := ed.router.route(buf, e.batchCap(n.Name))
-			for _, b := range batches {
-				if e.ackTracking() && !ed.system {
-					for i := range b.Tuples {
-						edge := e.rng.Int63()
-						b.Tuples[i].Edge = edge
-						e.accumAck(b.Tuples[i].Root, edge)
-					}
-				}
-				ed.consumers[b.Consumer].in <- Msg{
-					FromGlobal: e.global, FromOp: e.node.Name,
-					Stream: n.Name, Batch: b.Tuples,
-				}
-			}
+	for si := range e.buffers {
+		if si != e.ackIdx && len(e.buffers[si]) > 0 {
+			e.routeStream(si)
 		}
 	}
 	e.flushAcks()
 }
 
-// batchCap bounds delivered batch sizes. Ack batches may grow unbounded
-// within an invocation; user batches are capped at 4x the source batch
-// size to keep downstream invocations bounded.
-func (e *nativeExec) batchCap(stream string) int {
-	if stream == AckStream {
-		return 0
-	}
-	return 4 * e.rt.cfg.BatchSize
-}
-
-func (e *nativeExec) flushAcks() {
-	if len(e.ackAccum) == 0 {
-		return
-	}
-	accum := e.ackAccum
-	e.ackAccum = nil
-	for root, x := range accum {
-		e.buffers[AckStream] = append(e.buffers[AckStream], Tuple{
-			Values: []Value{root, x}, Root: root,
-		})
-	}
-	buf := e.buffers[AckStream]
-	e.buffers[AckStream] = nil
-	for _, ed := range e.edges[AckStream] {
-		for _, b := range ed.router.route(buf, 0) {
-			ed.consumers[b.Consumer].in <- Msg{
-				FromGlobal: e.global, FromOp: e.node.Name,
-				Stream: AckStream, Batch: b.Tuples,
+// routeStream routes one stream's emit buffer over all its edges, seals
+// every open batch, and resets the buffer for reuse.
+func (e *nativeExec) routeStream(si int) {
+	buf := e.buffers[si]
+	for _, ed := range e.edges[si] {
+		e.routeTo(ed, buf)
+		for ci := range ed.pending {
+			if len(ed.pending[ci]) > 0 {
+				e.send(ed, ci)
 			}
 		}
 	}
+	clear(buf) // drop Tuple references; the backing array is reused
+	e.buffers[si] = buf[:0]
 }
 
-// finish drains buffered operator state and propagates EOS downstream.
+// routeTo appends each tuple of buf to the edge's open per-consumer batch
+// according to the grouping, matching the simulated runtime's semantics
+// (persistent shuffle cursor, FNV fields hash, executor 0 for global,
+// replication for all).
+func (e *nativeExec) routeTo(ed *nativeEdge, buf []Tuple) {
+	n := len(ed.conns)
+	if n == 1 && ed.kind != GroupAll {
+		// One consumer executor: every grouping degenerates to "send it".
+		for i := range buf {
+			e.deliver(ed, 0, buf[i])
+		}
+		return
+	}
+	switch ed.kind {
+	case GroupShuffle:
+		for i := range buf {
+			e.deliver(ed, ed.rr, buf[i])
+			ed.rr++
+			if ed.rr == n {
+				ed.rr = 0
+			}
+		}
+	case GroupFields:
+		for i := range buf {
+			var h uint64
+			if len(buf[i].Values) == 0 {
+				// Values-free native ack tuple: the key is the root, and
+				// the hash must match what the sim computes for the same
+				// field (HashFields over a single int64 root value).
+				h = hashAckRoot(buf[i].Root)
+			} else {
+				h = HashFields(buf[i].Values, ed.fieldIdx)
+			}
+			ci := int(h % uint64(n))
+			e.deliver(ed, ci, buf[i])
+		}
+	case GroupGlobal:
+		for i := range buf {
+			e.deliver(ed, 0, buf[i])
+		}
+	case GroupAll:
+		for ci := 0; ci < n; ci++ {
+			for i := range buf {
+				e.deliver(ed, ci, buf[i])
+			}
+		}
+	default:
+		panic(fmt.Sprintf("engine: unknown grouping %v", ed.kind))
+	}
+}
+
+// deliver stamps the tuple's anchor edge (Storm XOR tracking assigns a
+// fresh edge ID per delivered copy), appends it to the consumer's open
+// batch, and seals the batch when it reaches the edge's cap.
+func (e *nativeExec) deliver(ed *nativeEdge, ci int, t Tuple) {
+	if !ed.system && t.Root != 0 && e.ackTracking() {
+		edge := e.rng.Int63()
+		t.Edge = edge
+		e.accumAck(t.Root, edge)
+	}
+	p := ed.pending[ci]
+	if p == nil {
+		p = e.newSlab(ed.conns[ci], ed.batchCap)
+	}
+	p = append(p, t)
+	ed.pending[ci] = p
+	if ed.batchCap > 0 && len(p) >= ed.batchCap {
+		e.send(ed, ci)
+	}
+}
+
+// newSlab reuses a recycled batch slab from the conn's free ring when one
+// is available, else allocates.
+func (e *nativeExec) newSlab(c *nativeConn, batchCap int) []Tuple {
+	if s, ok := c.free.TryPop(); ok {
+		return s
+	}
+	if batchCap <= 0 {
+		batchCap = 16
+	}
+	return make([]Tuple, 0, batchCap)
+}
+
+// send seals the open batch for one consumer and pushes it, blocking (and
+// eventually parking) when the ring is full: this is where backpressure
+// propagates upstream.
+func (e *nativeExec) send(ed *nativeEdge, ci int) {
+	ed.conns[ci].data.Push(Msg{
+		FromGlobal: e.global, FromOp: e.node.Name,
+		Stream: ed.stream, Batch: ed.pending[ci],
+	})
+	ed.pending[ci] = nil
+}
+
+// flushAcks turns the invocation's XOR accumulator into ack tuples on the
+// __ack stream and routes them to the acker. Native ack tuples carry the
+// (root, xor) pair in the Root and Edge fields — no boxed Values (the
+// Acker accepts both representations). The accumulator is truncated and
+// reused, never reallocated.
+func (e *nativeExec) flushAcks() {
+	if e.ackIdx < 0 || len(e.ackAccum) == 0 {
+		return
+	}
+	buf := e.buffers[e.ackIdx]
+	for _, p := range e.ackAccum {
+		buf = append(buf, Tuple{Root: p.root, Edge: p.xor})
+	}
+	e.buffers[e.ackIdx] = buf
+	e.ackAccum = e.ackAccum[:0]
+	e.routeStream(e.ackIdx)
+}
+
+// finish drains buffered operator state and sends one EOS marker to every
+// downstream executor this one is connected to.
 func (e *nativeExec) finish() {
 	if f, ok := e.op.(Flusher); ok {
 		e.ctx.curInput = nil
+		e.born = time.Now().UnixNano()
 		f.Flush(e.ctx)
 		e.endInvocation()
 	}
-	for _, n := range e.node.Streams {
-		for _, ed := range e.edges[n.Name] {
-			for _, c := range ed.consumers {
-				c.in <- Msg{FromGlobal: e.global, FromOp: e.node.Name, Stream: n.Name, EOS: true}
-			}
-		}
+	for _, c := range e.outConns {
+		c.data.Push(Msg{FromGlobal: e.global, FromOp: e.node.Name, EOS: true})
 	}
 }
 
@@ -361,26 +619,31 @@ type nativeCtx struct {
 func (c *nativeCtx) Emit(values ...Value) { c.EmitTo(DefaultStream, values...) }
 
 func (c *nativeCtx) EmitTo(stream string, values ...Value) {
-	n := c.ex.node
-	if _, ok := n.OutStream(stream); !ok {
-		panic(fmt.Sprintf("engine: %q emits to undeclared stream %q", n.Name, stream))
+	e := c.ex
+	si := streamIndex(e.node.Streams, stream)
+	if si < 0 {
+		panic(fmt.Sprintf("engine: %q emits to undeclared stream %q", e.node.Name, stream))
 	}
 	t := Tuple{Values: values, Size: int32(TupleBytes(values))}
 	if c.curInput != nil {
 		t.Born = c.curInput.Born
 		t.Root = c.curInput.Root
 	} else {
-		t.Born = time.Now().UnixNano()
-		if n.IsSource() {
-			t.Root = atomic.AddInt64(&c.ex.rt.rootCtr, 1)
+		t.Born = e.born
+		if e.node.IsSource() {
+			// Per-executor root sequence: unique across executors without
+			// a shared atomic counter.
+			e.rootSeq++
+			t.Root = int64(e.global+1)<<40 | e.rootSeq
 		}
 		// Non-source emissions without an input anchor (e.g. Flush) are
 		// unanchored, as in Storm: Root stays 0 and is never ack-tracked.
 	}
-	if n.IsSource() && stream != AckStream {
-		atomic.AddInt64(&c.ex.rt.sourceEvents, 1)
+	e.emitted++
+	if e.node.IsSource() && stream != AckStream {
+		e.srcEvents++
 	}
-	c.ex.buffers[stream] = append(c.ex.buffers[stream], t)
+	e.buffers[si] = append(e.buffers[si], t)
 }
 
 func (c *nativeCtx) ExecutorID() int  { return c.ex.index }

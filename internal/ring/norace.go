@@ -1,0 +1,7 @@
+//go:build !race
+
+package ring
+
+// RaceEnabled reports whether the race detector is compiled in; see
+// race.go.
+const RaceEnabled = false

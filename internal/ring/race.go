@@ -1,0 +1,9 @@
+//go:build race
+
+package ring
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// zero-allocation assertions on the ring transfer path are skipped under
+// the detector: its instrumentation allocates shadow state that would fail
+// them for reasons unrelated to the ring.
+const RaceEnabled = true
