@@ -8,9 +8,17 @@ cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
-# dsplint enforces the simulator's repo-specific invariants (determinism,
-# cycle accounting, hot-path allocation discipline); see DESIGN.md
-# "Machine-checked invariants". Exits non-zero on any diagnostic.
+# dsplint enforces the repo-specific invariants (determinism, cycle
+# accounting, hot-path allocation discipline, and the lock-free concurrency
+# discipline); see DESIGN.md "Machine-checked invariants" and "Concurrency
+# discipline". Exits non-zero on any diagnostic. The count assertion keeps
+# the suite honest: an analyzer that exists but is not registered in
+# analysis.All() never runs, so registration is a checked property too.
+analyzers=$(go run ./cmd/dsplint -list | wc -l)
+if [ "$analyzers" -ne 8 ]; then
+  echo "ci: dsplint -list reports $analyzers analyzers, want 8" >&2
+  exit 1
+fi
 go run ./cmd/dsplint ./...
 # -timeout raised above the go test default (10m): the race detector's
 # ~10x slowdown pushes internal/bench past 10 minutes on small hosts.
@@ -52,3 +60,8 @@ test -s "$BENCH_DIR/BENCH_native_wc_storm.json" || { echo "ci: missing BENCH_nat
 # executor-to-executor ring hop must stay allocation-free.
 DSP_PERF=1 go test -run TestNativePipelineSpeedup -count=1 ./internal/engine/
 go test -run 'TestRingTransferZeroAllocs|TestRingMsgTransferZeroAllocs' -count=1 ./internal/ring/ ./internal/engine/
+# Ring stress stage: the high-iteration SPSC/MPSC protocol hammer under the
+# race detector (skipped without DSP_STRESS so plain `go test ./...` stays
+# fast). Sequence checks catch lost/reordered items; -race catches the
+# orderings the sequence checks cannot.
+DSP_STRESS=1 go test -race -run TestRingStress -count=1 ./internal/ring/

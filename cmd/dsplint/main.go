@@ -1,23 +1,29 @@
-// Command dsplint runs the repo's custom static-analysis suite: five
-// analyzers that make the simulator's load-bearing invariants —
-// determinism, exact cycle accounting, and zero-allocation hot paths —
-// regress-proof (see internal/analysis and DESIGN.md's "Machine-checked
-// invariants" section).
+// Command dsplint runs the repo's custom static-analysis suite: eight
+// analyzers that make the simulator's and native runtime's load-bearing
+// invariants — determinism, exact cycle accounting, zero-allocation hot
+// paths, and the lock-free concurrency discipline — regress-proof (see
+// internal/analysis and DESIGN.md's "Machine-checked invariants" and
+// "Concurrency discipline" sections).
 //
 // Usage:
 //
 //	dsplint ./...            # whole module (the CI gate)
 //	dsplint ./internal/hw    # one package
 //	dsplint -list            # describe the analyzers
+//	dsplint -json ./...      # machine-readable diagnostics
 //
 // dsplint prints one line per diagnostic and exits nonzero when any
-// diagnostic is produced, so it slots into ci.sh as a hard gate. It uses
+// diagnostic is produced, so it slots into ci.sh as a hard gate. With
+// -json it instead prints a JSON array of {file, line, col, analyzer,
+// message} objects ([] when clean) for editor and tooling integration;
+// the exit-status contract is unchanged. It uses
 // only the standard library (go/ast, go/parser, go/token, go/types);
 // module-internal imports are resolved from the source tree and standard
 // library imports from GOROOT source.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +36,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	flag.Parse()
 
 	if *list {
@@ -76,17 +83,49 @@ func main() {
 	}
 
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
+	relName := func(name string) string {
 		if cwd != "" {
 			if r, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(r, "..") {
-				name = r
+				return r
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		return name
+	}
+	if *jsonOut {
+		printJSON(diags, relName)
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relName(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if failed || len(diags) > 0 {
 		os.Exit(1)
+	}
+}
+
+// jsonDiag is the -json wire shape for one diagnostic.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// printJSON emits the diagnostics as an indented JSON array — always an
+// array, [] on a clean run, so consumers never special-case emptiness.
+func printJSON(diags []analysis.Diagnostic, relName func(string) string) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File: relName(d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
 	}
 }
 

@@ -13,13 +13,26 @@
 //   - cyclecharge: per-bucket cycle counters are written only through the
 //     designated charging API (see cyclecharge.go).
 //
+// and the concurrency-discipline suite guarding the lock-free native
+// runtime (internal/ring and its users):
+//
+//   - atomicfield: a field accessed via sync/atomic anywhere is accessed
+//     atomically everywhere, and unsynchronized fields of atomic-bearing
+//     structs declare their owner (see atomicfield.go).
+//   - linelayout: //dsp:padded structs keep ownership domains and atomics
+//     on separate 64-byte cache lines, with offsets computed by
+//     go/types.Sizes (see linelayout.go).
+//   - hotsync: //dsp:hotpath functions contain no channel operations,
+//     mutex locks, wall-clock reads, or unyielding spin loops
+//     (see hotsync.go).
+//
 // The framework is intentionally minimal — build on go/ast, go/parser,
 // go/token, and go/types only, so the lint gate needs nothing beyond the
 // standard library.
 //
 // # Annotations
 //
-// Three comment directives tune the analyzers:
+// Five comment directives tune the analyzers:
 //
 //	//dsplint:ignore <analyzer> <reason>
 //	    Suppresses the named analyzer's diagnostics on the directive's
@@ -28,11 +41,20 @@
 //	//dsplint:wallclock
 //	    On a function's doc comment: the function intentionally measures
 //	    wall-clock time (e.g. a harness reporting real elapsed seconds),
-//	    so detrand permits time.Now/Since/Until inside it.
+//	    so detrand and hotsync permit time.Now/Since/Until inside it.
 //
 //	//dsp:hotpath
-//	    On a function's doc comment: the function is a simulator hot path;
-//	    hotalloc forbids allocating constructs in its body.
+//	    On a function's doc comment: the function is a hot path; hotalloc
+//	    forbids allocating constructs and hotsync forbids blocking
+//	    synchronization in its body.
+//
+//	//dsp:owned(<domain>)
+//	    On a struct field: declares the field's single writer domain
+//	    (see annotations.go).
+//
+//	//dsp:padded
+//	    On a struct type: the struct's cache-line layout is checked by
+//	    linelayout (see annotations.go).
 package analysis
 
 import (
@@ -62,9 +84,11 @@ type Analyzer struct {
 	Run  func(p *Pass)
 }
 
-// All lists every dsplint analyzer in stable order.
+// All lists every dsplint analyzer in stable order. ci.sh asserts this
+// count, so an analyzer that exists but is not registered here fails the
+// build instead of silently not running.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, HotAlloc, BucketSwitch, CycleCharge}
+	return []*Analyzer{DetRand, MapOrder, HotAlloc, BucketSwitch, CycleCharge, AtomicField, LineLayout, HotSync}
 }
 
 // SourceFile pairs one parsed file with its lint metadata.
@@ -87,6 +111,12 @@ type Pass struct {
 	ignores map[string]map[int]map[string]bool // filename -> line -> analyzers
 	diags   *[]Diagnostic
 	cur     *Analyzer
+
+	// Concurrency-discipline annotation state, collected once per pass by
+	// collectStructAnnotations (see annotations.go).
+	structs     []*structInfo
+	fieldOf     map[*types.Var]*fieldInfo
+	structOfObj map[*types.TypeName]*structInfo
 }
 
 // Report records a diagnostic at pos unless an ignore directive suppresses
@@ -184,6 +214,7 @@ func RunAnalyzers(pkg *Package, as []*Analyzer) []Diagnostic {
 		ignores: ignores,
 		diags:   &diags,
 	}
+	collectStructAnnotations(pass, &diags)
 	for _, a := range as {
 		pass.cur = a
 		a.Run(pass)

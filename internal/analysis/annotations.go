@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Concurrency-discipline annotations shared by atomicfield and linelayout.
+// Two comment directives attach to type declarations and struct fields:
+//
+//	//dsp:padded
+//	    On a struct type's doc comment: the struct's layout is a checked
+//	    property. linelayout computes real field offsets (go/types.Sizes)
+//	    and fails if two fields from different ownership domains — or two
+//	    atomics — share a 64-byte cache line.
+//
+//	//dsp:owned(<domain>)
+//	    On a struct field's doc or line comment: declares the field's
+//	    single writer domain (e.g. producer, consumer, setup). On a plain
+//	    field it licenses deliberately unsynchronized single-owner access
+//	    (the rings' cached peer indices); on an atomic field it declares
+//	    the writing side so linelayout can keep domains on separate lines.
+//	    The domain "setup" conventionally marks fields written only before
+//	    the structure is shared.
+//
+// Annotations are collected once per package in RunAnalyzers, before any
+// analyzer runs; malformed or unresolvable annotations are diagnostics in
+// their own right (analyzer name "directive"), so a declared invariant can
+// never be skipped silently.
+
+// structInfo is one named struct type declaration plus its concurrency
+// annotations.
+type structInfo struct {
+	name   string
+	spec   *ast.TypeSpec
+	obj    *types.TypeName
+	padded bool
+	fields []*fieldInfo // declaration order, multi-name fields expanded
+}
+
+// fieldInfo is one struct field (blank padding fields included) with its
+// ownership metadata.
+type fieldInfo struct {
+	owner     *structInfo
+	name      string
+	pos       token.Pos
+	obj       *types.Var // nil if the checker recorded no object
+	domain    string     // "" = undeclared
+	domainPos token.Pos
+	atomic    bool // field type is declared in sync/atomic
+}
+
+// hasAtomic reports whether the struct carries any atomic field: a typed
+// sync/atomic field, or a plain field accessed through sync/atomic calls
+// (atomicCalled, collected by atomicfield).
+func (si *structInfo) hasAtomic(atomicCalled map[*types.Var]bool) bool {
+	for _, fi := range si.fields {
+		if fi.atomic || (fi.obj != nil && atomicCalled[fi.obj]) {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	paddedDirective = "//dsp:padded"
+	ownedPrefix     = "//dsp:owned"
+)
+
+// parseOwned extracts the domain from a "//dsp:owned(<domain>)" comment.
+// ok is false when the comment is not an owned directive at all; malformed
+// carries the complaint when it is one but is written wrong.
+func parseOwned(text string) (domain string, ok bool, malformed string) {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, ownedPrefix) {
+		return "", false, ""
+	}
+	rest := text[len(ownedPrefix):]
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return "", true, "dsp:owned needs a parenthesized domain: //dsp:owned(<domain>)"
+	}
+	domain = rest[1 : len(rest)-1]
+	if domain == "" {
+		return "", true, "dsp:owned declares an empty domain"
+	}
+	for _, r := range domain {
+		if !(r == '_' || r == '-' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return "", true, fmt.Sprintf("dsp:owned domain %q is not a single identifier", domain)
+		}
+	}
+	return domain, true, ""
+}
+
+// groupHasDirective reports whether any comment in the group is exactly the
+// directive.
+func groupHasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// collectStructAnnotations walks every type declaration in the package,
+// records struct/field annotations on the pass, and reports malformed or
+// unresolvable annotations into sink. A //dsp:padded annotation whose
+// target does not resolve to a struct type is an error, not a skip: a
+// declared layout invariant that silently evaporates is worse than none.
+func collectStructAnnotations(p *Pass, sink *[]Diagnostic) {
+	bad := func(pos token.Pos, format string, args ...any) {
+		*sink = append(*sink, Diagnostic{
+			Pos: p.Fset.Position(pos), Analyzer: "directive",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	p.fieldOf = make(map[*types.Var]*fieldInfo)
+	p.structOfObj = make(map[*types.TypeName]*structInfo)
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				padded := groupHasDirective(ts.Doc, paddedDirective) ||
+					groupHasDirective(ts.Comment, paddedDirective) ||
+					(len(gd.Specs) == 1 && groupHasDirective(gd.Doc, paddedDirective))
+				st, isStruct := ts.Type.(*ast.StructType)
+				if !isStruct {
+					if padded {
+						bad(ts.Pos(), "//dsp:padded on %s, which is not a struct type; only struct layouts can be checked", ts.Name.Name)
+					}
+					continue
+				}
+				obj, _ := p.Info.Defs[ts.Name].(*types.TypeName)
+				if obj == nil {
+					if padded {
+						bad(ts.Pos(), "cannot resolve the type of //dsp:padded struct %s", ts.Name.Name)
+					}
+					continue
+				}
+				si := &structInfo{name: ts.Name.Name, spec: ts, obj: obj, padded: padded}
+				p.collectFields(si, st, bad)
+				p.structs = append(p.structs, si)
+				p.structOfObj[obj] = si
+			}
+		}
+	}
+}
+
+// collectFields expands the struct's AST fields (multi-name fields become
+// one entry per name, matching go/types field order) and attaches each
+// field's //dsp:owned domain.
+func (p *Pass) collectFields(si *structInfo, st *ast.StructType, bad func(token.Pos, string, ...any)) {
+	for _, f := range st.Fields.List {
+		domain, domainPos := "", token.NoPos
+		for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				d, isOwned, malformed := parseOwned(c.Text)
+				if !isOwned {
+					continue
+				}
+				if malformed != "" {
+					bad(c.Pos(), "%s", malformed)
+					continue
+				}
+				domain, domainPos = d, c.Pos()
+			}
+		}
+		add := func(name string, pos token.Pos, obj *types.Var) {
+			fi := &fieldInfo{
+				owner: si, name: name, pos: pos, obj: obj,
+				domain: domain, domainPos: domainPos,
+				atomic: obj != nil && isAtomicType(obj.Type()),
+			}
+			si.fields = append(si.fields, fi)
+			if obj != nil {
+				p.fieldOf[obj] = fi
+			}
+		}
+		if len(f.Names) == 0 {
+			// Embedded field: named after its type.
+			name := embeddedFieldName(f.Type)
+			var obj *types.Var
+			ast.Inspect(f.Type, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == name {
+					if v, isVar := p.Info.Uses[id].(*types.Var); isVar && v.IsField() {
+						obj = v
+					}
+				}
+				return true
+			})
+			add(name, f.Type.Pos(), obj)
+			continue
+		}
+		for _, n := range f.Names {
+			obj, _ := p.Info.Defs[n].(*types.Var)
+			add(n.Name, n.Pos(), obj)
+		}
+	}
+}
+
+// embeddedFieldName returns the implicit field name of an embedded type
+// expression (the final identifier, stars and qualifiers stripped).
+func embeddedFieldName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x.Sel.Name
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed atomics
+// (atomic.Int64, atomic.Uint64, atomic.Bool, atomic.Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// fieldVar resolves sel to the struct field it selects, or nil.
+func (p *Pass) fieldVar(sel *ast.SelectorExpr) *types.Var {
+	if v, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// receiverStruct resolves a method declaration's receiver base type to the
+// package-local struct it names, or nil.
+func (p *Pass) receiverStruct(fn *ast.FuncDecl) *structInfo {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	e := fn.Recv.List[0].Type
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.IndexListExpr:
+			e = x.X
+			continue
+		case *ast.Ident:
+			if tn, ok := p.Info.Uses[x].(*types.TypeName); ok {
+				return p.structOfObj[tn]
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

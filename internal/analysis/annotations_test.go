@@ -1,0 +1,44 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"streamscale/internal/analysis"
+)
+
+// TestUnresolvableAnnotationIsError pins the no-silent-skip contract: an
+// annotation whose target cannot be checked (a //dsp:padded non-struct, a
+// //dsp:padded generic whose layout int64 instantiation cannot witness)
+// must surface as a diagnostic, never as a skipped check — a declared
+// invariant that silently evaporates is worse than none.
+func TestUnresolvableAnnotationIsError(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"testdata/src/annotation/pos", "//dsp:padded on counter, which is not a struct type"},
+		{"testdata/src/linelayout/pos", "cannot resolve the layout of //dsp:padded generic struct badGeneric"},
+	}
+	for _, tc := range cases {
+		pkg, err := loader.LoadDir(tc.dir, loader.ModPath+"/internal/analysis/"+tc.dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", tc.dir, err)
+		}
+		diags := analysis.RunAnalyzers(pkg, analysis.All())
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, tc.want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no diagnostic containing %q; got %v", tc.dir, tc.want, diags)
+		}
+	}
+}

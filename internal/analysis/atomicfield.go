@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces the shared-memory access discipline the lock-free
+// runtime rests on. The native engine's rings (internal/ring) synchronize
+// exclusively through sync/atomic; their correctness depends on unwritten
+// rules this analyzer turns into checked ones:
+//
+//  1. A struct field accessed through sync/atomic anywhere must be accessed
+//     atomically everywhere. One plain read of an atomically-written index
+//     is a data race the race detector only catches when the interleaving
+//     cooperates; the analyzer catches it always.
+//
+//  2. In a struct that carries atomic fields (a lock-free structure), every
+//     plain field written by the struct's methods must declare its single
+//     writer with //dsp:owned(<domain>) — the rings' cached peer indices
+//     (cachedHead/cachedTail) are deliberately unsynchronized, and that
+//     deliberateness must be written down, not assumed. Construction-time
+//     writes from package functions (New*) are exempt; the discipline
+//     governs the concurrent phase, which is method-shaped.
+//
+//  3. //dsp:owned on a plain field contradicts sync/atomic access to the
+//     same field: owned means unsynchronized single-owner, atomic means
+//     shared. Declaring both is reported.
+//
+// Typed atomics (atomic.Uint64 and friends) are structurally safe — every
+// access goes through their methods — so they are exempt from rule 1 and
+// count only as evidence that the struct is concurrency-shared (rule 2).
+// On a typed atomic field, //dsp:owned declares the writing side for
+// linelayout's benefit and is not a contradiction.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "atomic fields stay atomic everywhere; unsynchronized fields of lock-free structs declare an owner",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(p *Pass) {
+	atomicCalled, exempt := p.atomicCallSites()
+
+	// Rule 1: plain access to an atomically-accessed plain field.
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || exempt[sel] {
+				return true
+			}
+			v := p.fieldVar(sel)
+			if v == nil || !atomicCalled[v] || isAtomicType(v.Type()) {
+				return true
+			}
+			p.Report(sel.Pos(),
+				"field %s is accessed via sync/atomic elsewhere; this plain access is a data race (make every access atomic)",
+				v.Name())
+			return true
+		})
+	}
+
+	// Rule 3: owned plain fields must not also be atomically accessed.
+	for _, si := range p.structs {
+		for _, fi := range si.fields {
+			if fi.domain != "" && !fi.atomic && fi.obj != nil && atomicCalled[fi.obj] {
+				p.Report(fi.domainPos,
+					"//dsp:owned(%s) field %s is also accessed via sync/atomic; owned means unsynchronized single-owner — drop the annotation or the atomics",
+					fi.domain, fi.name)
+			}
+		}
+	}
+
+	// Rule 2: undeclared plain-field writes in methods of atomic-bearing
+	// structs.
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			si := p.receiverStruct(fn)
+			if si == nil || !si.hasAtomic(atomicCalled) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						p.checkOwnedWrite(si, lhs, atomicCalled)
+					}
+				case *ast.IncDecStmt:
+					p.checkOwnedWrite(si, x.X, atomicCalled)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// atomicCallSites scans the package for sync/atomic function calls taking
+// the address of a struct field (atomic.AddInt64(&s.n, 1) and friends). It
+// returns the set of fields so accessed plus the selector nodes appearing
+// inside those calls, which rule 1 must not re-report as plain accesses.
+func (p *Pass) atomicCallSites() (map[*types.Var]bool, map[ast.Node]bool) {
+	atomicCalled := make(map[*types.Var]bool)
+	exempt := make(map[ast.Node]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if path, ok := p.selectorPackage(sel); !ok || path != "sync/atomic" {
+				return true
+			}
+			for _, a := range call.Args {
+				u, ok := a.(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				fsel, ok := u.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := p.fieldVar(fsel); v != nil {
+					atomicCalled[v] = true
+					exempt[fsel] = true
+				}
+			}
+			return true
+		})
+	}
+	return atomicCalled, exempt
+}
+
+// checkOwnedWrite reports a write through expr when it targets a plain,
+// undeclared field of si.
+func (p *Pass) checkOwnedWrite(si *structInfo, expr ast.Expr, atomicCalled map[*types.Var]bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	v := p.fieldVar(sel)
+	if v == nil {
+		return
+	}
+	fi := p.fieldOf[v]
+	if fi == nil || fi.owner != si {
+		return
+	}
+	if fi.atomic || fi.domain != "" || atomicCalled[v] {
+		return // typed atomic, declared owner, or already rule-1 territory
+	}
+	p.Report(sel.Pos(),
+		"unsynchronized write to field %s of %s, which carries atomic fields; declare the single writer with //dsp:owned(<domain>) on the field or use an atomic",
+		v.Name(), si.name)
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotSync extends the //dsp:hotpath contract from allocation-freedom
+// (hotalloc) to synchronization purity. The native runtime's hot path —
+// ring Push/Pop, the executor loop, the Waiter fast path — exists to
+// measure message-passing cost, so it must not smuggle in the very
+// mechanisms it replaced:
+//
+//   - no channel sends, receives, or closes (the ring is the channel)
+//   - no sync.Mutex/RWMutex lock calls, no WaitGroup.Wait, no Cond
+//     blocking — hot-path synchronization is sync/atomic plus the
+//     ring protocol
+//   - no wall-clock reads (time.Now/Since/Until); a clock read in a
+//     per-tuple path is itself a measurable cost. //dsplint:wallclock on
+//     the function marks deliberate measurement points (the coarse Born
+//     stamp, the sampled sink latency read).
+//   - spin loops must yield: a loop whose termination depends on another
+//     goroutine's write (an unbounded loop polling atomics or Try* calls,
+//     or a loop condition that polls them) must call runtime.Gosched,
+//     time.Sleep, or park on a waiter between retries, or it burns a core
+//     exactly when the system is most oversubscribed.
+//
+// Bounded scans (a for loop with a pure condition, e.g. draining MPSC
+// lanes round-robin) and pointer-chasing loops without shared polling are
+// not spin loops and pass unflagged.
+var HotSync = &Analyzer{
+	Name: "hotsync",
+	Doc:  "forbid blocking synchronization, wall-clock reads, and unyielding spin loops in //dsp:hotpath functions",
+	Run:  runHotSync,
+}
+
+// blockingSyncMethods are the sync package methods that block or take a
+// lock; any of them in a hot path defeats the lock-free design.
+var blockingSyncMethods = map[string]bool{
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+	"TryLock": true, "TryRLock": true, "Wait": true,
+}
+
+func runHotSync(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !FuncHasDirective(fn, "//dsp:hotpath") {
+				continue
+			}
+			wallclock := FuncHasDirective(fn, "//dsplint:wallclock")
+			p.checkHotSyncFunc(fn, wallclock)
+		}
+	}
+}
+
+func (p *Pass) checkHotSyncFunc(fn *ast.FuncDecl, wallclock bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			p.Report(x.Pos(), "channel send in hot path; the lock-free ring is the hot-path transport, channels are for setup and teardown")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				p.Report(x.Pos(), "channel receive in hot path; park on a Waiter from a cold caller instead")
+			}
+		case *ast.CallExpr:
+			p.checkHotSyncCall(x, wallclock)
+		case *ast.ForStmt:
+			p.checkSpinLoop(x)
+		}
+		return true
+	})
+}
+
+func (p *Pass) checkHotSyncCall(call *ast.CallExpr, wallclock bool) {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			p.Report(call.Pos(), "close of a channel in hot path; lifecycle transitions belong to cold shutdown code")
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if path, ok := p.selectorPackage(sel); ok && path == "time" && wallClockFuncs[sel.Sel.Name] && !wallclock {
+		p.Report(call.Pos(),
+			"time.%s in hot path; a per-tuple clock read is itself a measurable cost (annotate the function //dsplint:wallclock if this is a deliberate measurement point)",
+			sel.Sel.Name)
+		return
+	}
+	if s := p.Info.Selections[sel]; s != nil {
+		if m, ok := s.Obj().(*types.Func); ok && m.Pkg() != nil && m.Pkg().Path() == "sync" && blockingSyncMethods[m.Name()] {
+			p.Report(call.Pos(),
+				"sync.%s.%s in hot path; hot-path synchronization must go through sync/atomic and the ring protocol",
+				recvTypeName(m), m.Name())
+		}
+	}
+}
+
+// recvTypeName names a method's receiver type (pointer stripped).
+func recvTypeName(m *types.Func) string {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "?"
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// checkSpinLoop flags loops that wait on another goroutine without
+// yielding. Two shapes qualify as spinning: an unbounded `for {}` whose
+// body polls shared state (atomics or Try* calls), and a conditioned loop
+// whose condition itself polls shared state. Either must yield or park in
+// the body.
+func (p *Pass) checkSpinLoop(loop *ast.ForStmt) {
+	spins := false
+	if loop.Cond == nil {
+		spins = p.pollsShared(loop.Body)
+	} else {
+		spins = p.pollsShared(loop.Cond)
+	}
+	if spins && !p.yields(loop.Body) {
+		p.Report(loop.Pos(),
+			"spin loop in hot path never yields; call runtime.Gosched, time.Sleep, or park on a Waiter between retries")
+	}
+}
+
+// pollsShared reports whether the node contains a read of cross-goroutine
+// state: a sync/atomic package call, a typed-atomic method call, or a
+// call to a Try*-named function (the rings' non-blocking operations).
+func (p *Pass) pollsShared(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if strings.HasPrefix(fun.Name, "Try") {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if strings.HasPrefix(fun.Sel.Name, "Try") {
+				found = true
+				break
+			}
+			if path, ok := p.selectorPackage(fun); ok && path == "sync/atomic" {
+				found = true
+				break
+			}
+			if s := p.Info.Selections[fun]; s != nil {
+				if m, ok := s.Obj().(*types.Func); ok && m.Pkg() != nil && m.Pkg().Path() == "sync/atomic" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// yields reports whether the body gives the processor away on some path:
+// runtime.Gosched, time.Sleep, or a park/Park call (the Waiter protocol).
+func (p *Pass) yields(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "park" || fun.Name == "Park" {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if name == "park" || name == "Park" {
+				found = true
+				break
+			}
+			if path, ok := p.selectorPackage(fun); ok {
+				if (path == "runtime" && name == "Gosched") || (path == "time" && name == "Sleep") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

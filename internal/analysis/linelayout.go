@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/types"
+	"runtime"
+)
+
+// LineLayout turns the rings' padding comments into a checked property.
+// The paper's profiling methodology centers on cache-coherence traffic;
+// the lock-free SPSC ring's whole point is that producer and consumer
+// never write the same 64-byte line. That property lives in fragile
+// `_ [cacheLine - 16]byte` arithmetic today — one field added above the
+// pad silently shifts every offset and reintroduces the false sharing the
+// padding exists to prevent (exactly the bug this analyzer found in the
+// PR 6 layout: cachedTail and tail shared a line because the pad assumed
+// head started line-aligned).
+//
+// Structs annotated //dsp:padded get their real field offsets computed
+// with go/types.Sizes for the host GOARCH. The analyzer fails when two
+// fields that must not share a coherence granule land on the same 64-byte
+// line, assuming a line-aligned struct base:
+//
+//   - two typed sync/atomic fields (the head/tail indices both sides hammer)
+//   - two fields whose declared //dsp:owned domains differ
+//
+// Unannotated plain fields are treated as read-mostly (set at construction,
+// safe to share with anything); if a field is written concurrently it must
+// carry a domain, which atomicfield enforces.
+//
+// Generic structs are checked with every type parameter instantiated as
+// int64; a struct whose layout depends on a type parameter in a way int64
+// cannot witness should hoist the hot indices into a non-generic header.
+// If instantiation fails, that is reported — a declared layout invariant
+// must never be skipped silently.
+var LineLayout = &Analyzer{
+	Name: "linelayout",
+	Doc:  "//dsp:padded structs keep ownership domains and atomics on separate cache lines",
+	Run:  runLineLayout,
+}
+
+// lineBytes is the assumed coherence granule, matching ring.cacheLine.
+const lineBytes = 64
+
+func runLineLayout(p *Pass) {
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	for _, si := range p.structs {
+		if !si.padded {
+			continue
+		}
+		p.checkPaddedStruct(si, sizes)
+	}
+}
+
+func (p *Pass) checkPaddedStruct(si *structInfo, sizes types.Sizes) {
+	named, ok := si.obj.Type().(*types.Named)
+	if !ok {
+		p.Report(si.spec.Pos(), "cannot resolve the type of //dsp:padded struct %s", si.name)
+		return
+	}
+	if tp := named.TypeParams(); tp.Len() > 0 {
+		targs := make([]types.Type, tp.Len())
+		for i := range targs {
+			targs[i] = types.Typ[types.Int64]
+		}
+		inst, err := types.Instantiate(nil, named, targs, true)
+		if err != nil {
+			p.Report(si.spec.Pos(),
+				"cannot resolve the layout of //dsp:padded generic struct %s: %v (layout is checked with every type parameter instantiated as int64)",
+				si.name, err)
+			return
+		}
+		named, ok = inst.(*types.Named)
+		if !ok {
+			p.Report(si.spec.Pos(), "cannot resolve the layout of //dsp:padded generic struct %s", si.name)
+			return
+		}
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok || st.NumFields() != len(si.fields) {
+		p.Report(si.spec.Pos(), "cannot resolve the fields of //dsp:padded struct %s", si.name)
+		return
+	}
+
+	vars := make([]*types.Var, st.NumFields())
+	for i := range vars {
+		vars[i] = st.Field(i)
+	}
+	offsets := sizes.Offsetsof(vars)
+
+	type span struct {
+		fi       *fieldInfo
+		off      int64
+		lo, hi   int64 // first and last occupied 64-byte line
+		occupied bool
+	}
+	spans := make([]span, len(vars))
+	for i, v := range vars {
+		sz := sizes.Sizeof(v.Type())
+		spans[i] = span{
+			fi: si.fields[i], off: offsets[i],
+			lo: offsets[i] / lineBytes, hi: (offsets[i] + sz - 1) / lineBytes,
+			occupied: sz > 0,
+		}
+	}
+	for i := 0; i < len(spans); i++ {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if !a.occupied || !b.occupied || b.lo > a.hi || a.lo > b.hi {
+				continue
+			}
+			switch {
+			case a.fi.atomic && b.fi.atomic:
+				p.Report(b.fi.pos,
+					"atomic fields %s and %s of //dsp:padded struct %s share a 64-byte line (offsets %d and %d); pad them onto separate lines",
+					a.fi.name, b.fi.name, si.name, a.off, b.off)
+			case a.fi.domain != "" && b.fi.domain != "" && a.fi.domain != b.fi.domain:
+				p.Report(b.fi.pos,
+					"fields %s (//dsp:owned(%s)) and %s (//dsp:owned(%s)) of //dsp:padded struct %s share a 64-byte line (offsets %d and %d); cross-domain sharing ping-pongs the line between cores",
+					a.fi.name, a.fi.domain, b.fi.name, b.fi.domain, si.name, a.off, b.off)
+			}
+		}
+	}
+}

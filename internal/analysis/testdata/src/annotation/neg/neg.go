@@ -1,0 +1,20 @@
+package neg
+
+import "sync/atomic"
+
+// header shows the annotations used correctly: //dsp:owned on a typed
+// atomic declares the writing side (not a contradiction), a plain owned
+// field is fine when nothing touches it atomically, and the layout keeps
+// the two domains on separate lines.
+//
+//dsp:padded
+type header struct {
+	seq atomic.Uint64 //dsp:owned(writer)
+	_   [56]byte
+	rd  uint64 //dsp:owned(reader)
+	_   [56]byte
+}
+
+func (h *header) advance() { h.seq.Add(1) }
+
+func (h *header) observe() { h.rd = h.seq.Load() }

@@ -1,0 +1,14 @@
+package pos
+
+// counter declares a checked layout, but only struct layouts can be
+// checked.
+//
+//dsp:padded
+type counter int64
+
+// plain exercises every malformed //dsp:owned spelling.
+type plain struct {
+	a int //dsp:owned()
+	b int //dsp:owned
+	c int //dsp:owned(two words)
+}

@@ -1,0 +1,36 @@
+package neg
+
+import "sync/atomic"
+
+// lane is the blessed shape: a typed atomic for the shared index and a
+// declared owner for the deliberately unsynchronized cached copy.
+type lane struct {
+	head   atomic.Uint64
+	cached uint64 //dsp:owned(consumer)
+}
+
+// newLane writes plain fields at construction time, before the lane is
+// shared — package functions are exempt from the owned-write rule.
+func newLane() *lane {
+	l := &lane{}
+	l.cached = 0
+	return l
+}
+
+func (l *lane) pop() bool {
+	h := l.head.Load()
+	if h == l.cached {
+		return false
+	}
+	l.cached = h
+	return true
+}
+
+// stat uses old-style atomics consistently: every access to hits goes
+// through sync/atomic, so no plain access exists to race with.
+type stat struct {
+	hits int64
+}
+
+func (s *stat) hit()        { atomic.AddInt64(&s.hits, 1) }
+func (s *stat) load() int64 { return atomic.LoadInt64(&s.hits) }

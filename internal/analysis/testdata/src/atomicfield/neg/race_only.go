@@ -1,0 +1,12 @@
+//go:build race
+
+package neg
+
+// raceDebugPeek reads stat.hits without synchronization — a rule-1
+// violation if this file were analyzed. It is not: the lint loader
+// evaluates build constraints with the "race" tag off (matching a normal
+// non-race build), so race-only debug helpers never pollute lint results.
+// This fixture pins that loader path: if constraint handling regresses and
+// this file is loaded, the neg package grows a diagnostic and the golden
+// test fails.
+func raceDebugPeek(s *stat) int64 { return s.hits }

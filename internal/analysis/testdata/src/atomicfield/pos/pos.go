@@ -1,0 +1,34 @@
+package pos
+
+import "sync/atomic"
+
+// counter mixes atomic and plain access on the same plain field: read()
+// races with bump() (rule 1).
+type counter struct {
+	n int64
+}
+
+func (c *counter) bump() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) read() int64 { return c.n }
+
+// ringish carries a typed atomic, which makes it a lock-free structure;
+// the cached index it writes in a method must declare its single writer
+// and does not (rule 2).
+type ringish struct {
+	head   atomic.Uint64
+	cached uint64
+}
+
+func (r *ringish) pop() uint64 {
+	r.cached = r.head.Load()
+	return r.cached
+}
+
+// confused declares single-owner access to a field the same package also
+// touches through sync/atomic — the two claims contradict (rule 3).
+type confused struct {
+	flag int32 //dsp:owned(writer)
+}
+
+func (c *confused) set() { atomic.StoreInt32(&c.flag, 1) }

@@ -1,0 +1,66 @@
+package neg
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+type q struct {
+	flag atomic.Bool
+	// lanes is fixed before the q is shared.
+	lanes []int //dsp:owned(setup)
+}
+
+// drain is a bounded scan, not a spin: the loop condition is pure, so the
+// loop terminates without any other goroutine's help even though the body
+// polls (the MPSC round-robin drain shape).
+//
+//dsp:hotpath
+func (s *q) drain() int {
+	n := 0
+	for i := 0; i < len(s.lanes); i++ {
+		if s.TryGet(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// TryGet is the non-blocking poll drain and the spinners call.
+func (s *q) TryGet(i int) bool { return s.lanes[i] != 0 }
+
+// spinYield polls shared state but yields the processor between retries.
+//
+//dsp:hotpath
+func (s *q) spinYield() {
+	for !s.flag.Load() {
+		runtime.Gosched()
+	}
+}
+
+// spinPark polls shared state but parks between retries (the Waiter shape).
+//
+//dsp:hotpath
+func (s *q) spinPark() {
+	for {
+		if s.flag.Load() {
+			return
+		}
+		s.park()
+	}
+}
+
+func (s *q) park() {}
+
+// stamp reads the clock deliberately: a declared measurement point.
+//
+//dsp:hotpath
+//dsplint:wallclock
+func stamp() int64 { return time.Now().UnixNano() }
+
+// coldSetup is not a hot path; channels are the right tool off it.
+func coldSetup(ch chan int) {
+	ch <- 1
+	close(ch)
+}

@@ -1,0 +1,55 @@
+package pos
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type state struct {
+	mu   sync.Mutex
+	flag atomic.Bool
+	ch   chan int
+}
+
+// locks takes a mutex in a hot path.
+//
+//dsp:hotpath
+func (s *state) locks() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// channels sends, receives, and closes in a hot path.
+//
+//dsp:hotpath
+func (s *state) channels() int {
+	s.ch <- 1
+	v := <-s.ch
+	close(s.ch)
+	return v
+}
+
+// clock reads wall time per call without declaring //dsplint:wallclock.
+//
+//dsp:hotpath
+func (s *state) clock() int64 { return time.Now().UnixNano() }
+
+// spinBody is an unbounded loop polling shared state with no yield.
+//
+//dsp:hotpath
+func (s *state) spinBody() {
+	for {
+		if s.flag.Load() {
+			return
+		}
+	}
+}
+
+// spinCond polls shared state in its condition with no yield.
+//
+//dsp:hotpath
+func (s *state) spinCond() {
+	for !s.flag.Load() {
+	}
+}

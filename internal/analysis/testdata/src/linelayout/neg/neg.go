@@ -1,0 +1,35 @@
+package neg
+
+import "sync/atomic"
+
+// goodRing is the SPSC shape: each ownership domain (shared index plus its
+// cached peer copy) starts on its own 64-byte line, with a trailing pad so
+// a neighboring allocation cannot share the producer line.
+//
+//dsp:padded
+type goodRing struct {
+	buf []int // 24-byte slice header, read-mostly
+
+	_          [40]byte
+	head       atomic.Uint64 //dsp:owned(consumer)
+	cachedTail uint64        //dsp:owned(consumer)
+	_          [48]byte
+	tail       atomic.Uint64 //dsp:owned(producer)
+	cachedHead uint64        //dsp:owned(producer)
+	_          [48]byte
+}
+
+// genericRing proves a generic struct can carry a checked layout: the
+// slice header's size does not depend on T, so instantiating every type
+// parameter as int64 witnesses the real offsets.
+//
+//dsp:padded
+type genericRing[T any] struct {
+	buf []T
+
+	_    [40]byte
+	head atomic.Uint64 //dsp:owned(consumer)
+	_    [56]byte
+	tail atomic.Uint64 //dsp:owned(producer)
+	_    [56]byte
+}

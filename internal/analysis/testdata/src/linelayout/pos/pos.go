@@ -1,0 +1,32 @@
+package pos
+
+import "sync/atomic"
+
+// badAtomics declares a checked layout but leaves both shared indices on
+// line 0 — producer and consumer each hammer their own index, so the line
+// ping-pongs between their cores.
+//
+//dsp:padded
+type badAtomics struct {
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// badDomains pads, but not enough: a lands at offset 0 and b at offset 56,
+// both on line 0, and their declared owners differ.
+//
+//dsp:padded
+type badDomains struct {
+	a uint64 //dsp:owned(producer)
+	_ [48]byte
+	b uint64 //dsp:owned(consumer)
+}
+
+// badGeneric's layout cannot be witnessed with int64 type arguments — the
+// constraint rejects them — so the declared invariant is reported rather
+// than silently skipped.
+//
+//dsp:padded
+type badGeneric[T interface{ ~string }] struct {
+	v T
+}

@@ -53,6 +53,9 @@ func RunCells(cells []Cell, jobs int) ([]CellResult, error) {
 			meter.tick()
 		}
 	} else {
+		// Concurrency audit: the only cross-worker state is the atomic
+		// claim cursor; out/errs are written at distinct claimed indices,
+		// and wg.Wait is the release barrier before anyone reads them.
 		var cursor atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < jobs; w++ {

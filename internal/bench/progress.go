@@ -29,8 +29,10 @@ func stderrIsTTY() bool {
 // progressMeter tracks one RunCells sweep. Completions arrive from many
 // workers; prints are throttled and serialized through a CAS on lastPrint.
 type progressMeter struct {
-	total int
-	start time.Time
+	// total and start are fixed by the constructor before the meter is
+	// handed to any worker; only the two atomics below move afterwards.
+	total int       //dsp:owned(setup)
+	start time.Time //dsp:owned(setup)
 	done  atomic.Int64
 	// lastPrint is unix nanos of the most recent line, 0 before the first.
 	lastPrint atomic.Int64

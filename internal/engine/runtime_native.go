@@ -356,8 +356,13 @@ func (rt *nativeRuntime) run(app string) (*Result, error) {
 	return res, nil
 }
 
+// loop is one executor goroutine: sources run invocation after invocation
+// until exhausted; operators pop batches from the MPSC front until every
+// input lane has delivered its EOS marker.
+//
+//dsp:hotpath
 func (e *nativeExec) loop() {
-	e.ctx = &nativeCtx{ex: e}
+	e.ctx = &nativeCtx{ex: e} //dsplint:ignore hotalloc one context per executor per run, allocated before the first tuple moves
 	if e.src != nil {
 		e.src.Prepare(e.ctx)
 		for e.sourceInvocation() {
@@ -382,6 +387,9 @@ func (e *nativeExec) loop() {
 // One clock read stamps every tuple born this invocation (coarse Born):
 // at batch sizes worth measuring, per-tuple timestamps are themselves a
 // measurable cost, exactly the effect the runtime exists to quantify.
+//
+//dsp:hotpath
+//dsplint:wallclock
 func (e *nativeExec) sourceInvocation() bool {
 	e.invocations++
 	e.born = time.Now().UnixNano()
@@ -394,6 +402,11 @@ func (e *nativeExec) sourceInvocation() bool {
 	return alive
 }
 
+// processBatch runs the operator over one popped batch, accumulating acks
+// and sink observations inline, then recycles the slab and seals the
+// invocation's output batches.
+//
+//dsp:hotpath
 func (e *nativeExec) processBatch(msg Msg, lane int) {
 	e.invocations++
 	e.tuples += int64(len(msg.Batch))
@@ -418,6 +431,8 @@ func (e *nativeExec) processBatch(msg Msg, lane int) {
 // recycle clears a drained batch slab and offers it back to the producer.
 // Tuples were handed to the operator by value, so dropping the slab's
 // references here is safe; if the free ring is full the slab goes to GC.
+//
+//dsp:hotpath
 func (e *nativeExec) recycle(lane int, batch []Tuple) {
 	if batch == nil {
 		return
@@ -430,6 +445,10 @@ func (e *nativeExec) ackTracking() bool {
 	return e.rt.cfg.System.AckEnabled && !e.node.System
 }
 
+// accumAck folds one (root, edge) pair into the invocation's XOR
+// accumulator; linear search over the reused slice, no hashing.
+//
+//dsp:hotpath
 func (e *nativeExec) accumAck(root, edge int64) {
 	if root == 0 {
 		return // unanchored tuple tree
@@ -445,6 +464,9 @@ func (e *nativeExec) accumAck(root, edge int64) {
 
 // observeSink counts the tuple and samples end-to-end latency on a
 // countdown — the clock is read only when the sampler actually fires.
+//
+//dsp:hotpath
+//dsplint:wallclock
 func (e *nativeExec) observeSink(t *Tuple) {
 	e.sinkN++
 	e.sampleIn--
@@ -457,6 +479,8 @@ func (e *nativeExec) observeSink(t *Tuple) {
 // endInvocation implements the non-blocking batching boundary: everything
 // emitted during this invocation is routed into per-consumer batches and
 // delivered now — nothing is held back for a later flush.
+//
+//dsp:hotpath
 func (e *nativeExec) endInvocation() {
 	for si := range e.buffers {
 		if si != e.ackIdx && len(e.buffers[si]) > 0 {
@@ -468,6 +492,8 @@ func (e *nativeExec) endInvocation() {
 
 // routeStream routes one stream's emit buffer over all its edges, seals
 // every open batch, and resets the buffer for reuse.
+//
+//dsp:hotpath
 func (e *nativeExec) routeStream(si int) {
 	buf := e.buffers[si]
 	for _, ed := range e.edges[si] {
@@ -486,6 +512,8 @@ func (e *nativeExec) routeStream(si int) {
 // according to the grouping, matching the simulated runtime's semantics
 // (persistent shuffle cursor, FNV fields hash, executor 0 for global,
 // replication for all).
+//
+//dsp:hotpath
 func (e *nativeExec) routeTo(ed *nativeEdge, buf []Tuple) {
 	n := len(ed.conns)
 	if n == 1 && ed.kind != GroupAll {
@@ -529,6 +557,7 @@ func (e *nativeExec) routeTo(ed *nativeEdge, buf []Tuple) {
 			}
 		}
 	default:
+		//dsplint:ignore hotalloc fatal-error path, never taken in steady state
 		panic(fmt.Sprintf("engine: unknown grouping %v", ed.kind))
 	}
 }
@@ -536,6 +565,8 @@ func (e *nativeExec) routeTo(ed *nativeEdge, buf []Tuple) {
 // deliver stamps the tuple's anchor edge (Storm XOR tracking assigns a
 // fresh edge ID per delivered copy), appends it to the consumer's open
 // batch, and seals the batch when it reaches the edge's cap.
+//
+//dsp:hotpath
 func (e *nativeExec) deliver(ed *nativeEdge, ci int, t Tuple) {
 	if !ed.system && t.Root != 0 && e.ackTracking() {
 		edge := e.rng.Int63()
@@ -568,6 +599,8 @@ func (e *nativeExec) newSlab(c *nativeConn, batchCap int) []Tuple {
 // send seals the open batch for one consumer and pushes it, blocking (and
 // eventually parking) when the ring is full: this is where backpressure
 // propagates upstream.
+//
+//dsp:hotpath
 func (e *nativeExec) send(ed *nativeEdge, ci int) {
 	ed.conns[ci].data.Push(Msg{
 		FromGlobal: e.global, FromOp: e.node.Name,
@@ -581,6 +614,8 @@ func (e *nativeExec) send(ed *nativeEdge, ci int) {
 // (root, xor) pair in the Root and Edge fields — no boxed Values (the
 // Acker accepts both representations). The accumulator is truncated and
 // reused, never reallocated.
+//
+//dsp:hotpath
 func (e *nativeExec) flushAcks() {
 	if e.ackIdx < 0 || len(e.ackAccum) == 0 {
 		return
@@ -616,12 +651,20 @@ type nativeCtx struct {
 	inStream string
 }
 
+// Emit forwards to EmitTo on the default stream.
+//
+//dsp:hotpath
 func (c *nativeCtx) Emit(values ...Value) { c.EmitTo(DefaultStream, values...) }
 
+// EmitTo appends a tuple to the stream's emit buffer — the hottest
+// user-facing call in the runtime (every operator output passes through).
+//
+//dsp:hotpath
 func (c *nativeCtx) EmitTo(stream string, values ...Value) {
 	e := c.ex
 	si := streamIndex(e.node.Streams, stream)
 	if si < 0 {
+		//dsplint:ignore hotalloc fatal-error path, never taken in steady state
 		panic(fmt.Sprintf("engine: %q emits to undeclared stream %q", e.node.Name, stream))
 	}
 	t := Tuple{Values: values, Size: int32(TupleBytes(values))}

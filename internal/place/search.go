@@ -131,6 +131,9 @@ func (m *Model) Search(opts SearchOptions) []Candidate {
 	// symmetry-broken prefix of the first SplitDepth executors.
 	frontier := m.prefixes(order, opts.SplitDepth)
 	results := make([][]Candidate, len(frontier))
+	// Concurrency audit: workers share only the atomic claim cursor;
+	// results are written at distinct claimed indices and read after
+	// wg.Wait. Each subtree search is otherwise self-contained.
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	workers := opts.Workers

@@ -1,0 +1,54 @@
+package ring
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestSPSCFieldLineLayout pins the repadded SPSC layout with real offsets.
+// The original padding assumed head began cache-line-aligned when it began
+// at offset 120, which put cachedTail (consumer-written) and tail
+// (producer-written) on the same 64-byte line — false sharing on the two
+// hottest words in the ring. dsplint's linelayout analyzer checks the same
+// property symbolically; this test checks it on the compiled struct, so it
+// also guards against a Go layout-rule change shifting the offsets.
+func TestSPSCFieldLineLayout(t *testing.T) {
+	var r SPSC[int64]
+	offs := map[string]uintptr{
+		"head":       unsafe.Offsetof(r.head),
+		"cachedTail": unsafe.Offsetof(r.cachedTail),
+		"tail":       unsafe.Offsetof(r.tail),
+		"cachedHead": unsafe.Offsetof(r.cachedHead),
+	}
+	line := func(name string) uintptr { return offs[name] / cacheLine }
+
+	if offs["head"]%cacheLine != 0 {
+		t.Errorf("head at offset %d, not line-aligned", offs["head"])
+	}
+	if offs["tail"]%cacheLine != 0 {
+		t.Errorf("tail at offset %d, not line-aligned", offs["tail"])
+	}
+	// Each domain's pair shares a line (one miss loads both words)…
+	if line("head") != line("cachedTail") {
+		t.Errorf("consumer pair split across lines: head@%d cachedTail@%d", offs["head"], offs["cachedTail"])
+	}
+	if line("tail") != line("cachedHead") {
+		t.Errorf("producer pair split across lines: tail@%d cachedHead@%d", offs["tail"], offs["cachedHead"])
+	}
+	// …and the two domains never share one (the regression this pins).
+	if line("head") == line("tail") {
+		t.Errorf("consumer and producer lines collide: head@%d tail@%d", offs["head"], offs["tail"])
+	}
+	// The trailing pad keeps whatever is allocated after the ring off the
+	// producer line.
+	if unsafe.Sizeof(r)-offs["tail"] < cacheLine {
+		t.Errorf("producer line extends past the struct: size %d, tail@%d", unsafe.Sizeof(r), offs["tail"])
+	}
+
+	// The layout must not depend on the element type: buf is a slice
+	// header, so a byte-array element changes nothing.
+	var rb SPSC[[3]byte]
+	if unsafe.Offsetof(rb.head) != offs["head"] || unsafe.Offsetof(rb.tail) != offs["tail"] {
+		t.Errorf("layout depends on element type: head@%d tail@%d", unsafe.Offsetof(rb.head), unsafe.Offsetof(rb.tail))
+	}
+}

@@ -12,9 +12,13 @@ import "runtime"
 //
 // AddProducer is build-time only; it must not race with Pop.
 type MPSC[T any] struct {
-	cons  *Waiter
-	lanes []*SPSC[T]
-	next  int // round-robin drain cursor
+	cons *Waiter
+	// lanes grows only during topology construction, before any producer
+	// or the consumer runs.
+	lanes []*SPSC[T] //dsp:owned(setup)
+	// next is the round-robin drain cursor, touched only by the single
+	// consumer goroutine.
+	next int //dsp:owned(consumer)
 }
 
 // NewMPSC returns an empty MPSC front.
@@ -54,6 +58,8 @@ func (m *MPSC[T]) TryPop() (T, int, bool) {
 
 // Pop blocks until an item is available on any lane, returning it and its
 // lane index.
+//
+//dsp:hotpath
 func (m *MPSC[T]) Pop() (T, int) {
 	for i := 0; i < spinYields; i++ {
 		if v, lane, ok := m.TryPop(); ok {

@@ -34,7 +34,9 @@ const spinYields = 24
 // between recheck and park leaves a token the park consumes immediately.
 type Waiter struct {
 	armed atomic.Int32
-	ch    chan struct{}
+	// ch is allocated once in init, before the waiter is shared; the
+	// channel itself synchronizes park/wake after that.
+	ch chan struct{} //dsp:owned(setup)
 }
 
 // NewWaiter returns a ready-to-use waiter.
@@ -53,7 +55,7 @@ func (w *Waiter) init() { w.ch = make(chan struct{}, 1) }
 func (w *Waiter) Signal() {
 	if w.armed.Load() != 0 && w.armed.Swap(0) != 0 {
 		select {
-		case w.ch <- struct{}{}:
+		case w.ch <- struct{}{}: //dsplint:ignore hotsync the park-wake handoff itself: a send on a 1-buffered channel with a default case never blocks
 		default:
 		}
 	}
@@ -70,19 +72,29 @@ func (w *Waiter) park()   { <-w.ch }
 // of the other's index and refreshes it only when the cached value implies
 // the ring is full/empty — in steady state a push or pop touches no
 // shared-written cache line but its own.
+//
+// The layout below is a checked property (dsplint's linelayout analyzer,
+// plus TestSPSCFieldLineLayout): the consumer-written pair (head,
+// cachedTail) and the producer-written pair (tail, cachedHead) each start
+// on their own 64-byte line. The original padding arithmetic assumed head
+// began line-aligned when it actually began at offset 120, which put
+// cachedTail and tail — a consumer-written and a producer-written index —
+// on the same line: false sharing on the two hottest words in the ring.
+//
+//dsp:padded
 type SPSC[T any] struct {
-	buf  []T
-	mask uint64
-	cons *Waiter // parked consumer (shared across lanes in an MPSC)
-	prod Waiter  // parked producer (exclusive to this ring)
+	buf  []T     // 24 bytes: slice header, layout is T-independent
+	mask uint64  // 32
+	cons *Waiter // 40: parked consumer (shared across lanes in an MPSC)
+	prod Waiter  // 56: parked producer (exclusive to this ring)
 
-	_          [cacheLine]byte
-	head       atomic.Uint64 // consumer-owned
-	cachedTail uint64        // consumer's last view of tail
-	_          [cacheLine - 16]byte
-	tail       atomic.Uint64 // producer-owned
-	cachedHead uint64        // producer's last view of head
-	_          [cacheLine - 16]byte
+	_          [cacheLine - 56%cacheLine]byte // align the consumer line
+	head       atomic.Uint64                  //dsp:owned(consumer)
+	cachedTail uint64                         //dsp:owned(consumer)
+	_          [cacheLine - 16]byte           // separate the producer line
+	tail       atomic.Uint64                  //dsp:owned(producer)
+	cachedHead uint64                         //dsp:owned(producer)
+	_          [cacheLine - 16]byte           // keep trailing neighbors off the producer line
 }
 
 // NewSPSC returns a ring with at least the requested capacity (rounded up
@@ -201,6 +213,8 @@ func (r *SPSC[T]) PopN(dst []T) int {
 // producer waiter until the consumer frees a slot. This is the native
 // runtime's credit-based backpressure — a producer ahead of its consumer
 // sleeps instead of growing a queue or burning a core.
+//
+//dsp:hotpath
 func (r *SPSC[T]) Push(v T) {
 	for i := 0; i < spinYields; i++ {
 		if r.TryPush(v) {
@@ -220,6 +234,8 @@ func (r *SPSC[T]) Push(v T) {
 
 // Pop blocks until an item is available. Only valid when the ring owns its
 // consumer waiter (not a shared MPSC lane — park there via MPSC.Pop).
+//
+//dsp:hotpath
 func (r *SPSC[T]) Pop() T {
 	for i := 0; i < spinYields; i++ {
 		if v, ok := r.TryPop(); ok {
