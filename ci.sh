@@ -65,3 +65,8 @@ go test -run 'TestRingTransferZeroAllocs|TestRingMsgTransferZeroAllocs' -count=1
 # fast). Sequence checks catch lost/reordered items; -race catches the
 # orderings the sequence checks cannot.
 DSP_STRESS=1 go test -race -run TestRingStress -count=1 ./internal/ring/
+# Fast-tier smoke stage: dspreport's tier-smoke experiment re-simulates its
+# tiered sweep exhaustively and exits non-zero if any verified row differs
+# from the untiered simulation path or the sweep-wide rank correlation
+# falls below tau = 0.90 (bench.TierSmoke).
+go run ./cmd/dspreport -tier -experiment tier-smoke -quiet >/dev/null

@@ -26,25 +26,27 @@ import (
 
 func main() {
 	var (
-		app     = flag.String("app", "wc", "application: "+fmt.Sprint(apps.Names()))
-		system  = flag.String("system", "storm", "engine profile: storm | flink")
-		sockets = flag.Int("sockets", 1, "enabled CPU sockets (1-4)")
-		cores   = flag.Int("cores", 0, "restrict to the first N cores (0 = all enabled sockets)")
-		batch   = flag.Int("batch", 1, "tuple batch size S (1 = no batching)")
-		events  = flag.Int("events", 0, "source events (0 = app default)")
-		scale   = flag.Int("scale", 1, "parallelism scale factor")
-		seed    = flag.Int64("seed", 1, "random seed")
-		place   = flag.Bool("place", false, "apply NUMA-aware executor placement (best plan by Eq. 1 cost)")
-		profile = flag.Bool("profile", true, "print the Table II processor-time breakdown")
+		app      = flag.String("app", "wc", "application: "+fmt.Sprint(apps.Names()))
+		system   = flag.String("system", "storm", "engine profile: storm | flink")
+		sockets  = flag.Int("sockets", 1, "enabled CPU sockets (1-4)")
+		cores    = flag.Int("cores", 0, "restrict to the first N cores (0 = all enabled sockets)")
+		batch    = flag.Int("batch", 1, "tuple batch size S (1 = no batching)")
+		spec     = flag.String("spec", "", "machine spec variant: \"\" (Table III) | 2x16 | 8x4 | turbo | slowmem | fatlink")
+		tier     = flag.Bool("tier", false, "fast-tier estimate instead of simulating: one memoized probe calibrates the analytical model, the cell itself is never simulated")
+		events   = flag.Int("events", 0, "source events (0 = app default)")
+		scale    = flag.Int("scale", 1, "parallelism scale factor")
+		seed     = flag.Int64("seed", 1, "random seed")
+		place    = flag.Bool("place", false, "apply NUMA-aware executor placement (best plan by Eq. 1 cost)")
+		profile  = flag.Bool("profile", true, "print the Table II processor-time breakdown")
 		native   = flag.Bool("native", false, "run on the native goroutine runtime (real wall-clock, no processor model)")
 		chain    = flag.Bool("chain", false, "with -native: apply operator chaining before running")
 		validate = flag.Bool("validate", false, "with -native: run the simulator-validation loop (effect ratios, sim vs native) and exit")
-		jobs    = flag.Int("jobs", runtime.NumCPU(), "parallel simulation cells for multi-run steps like -place")
-		cache   = flag.String("cache", "", "persistent result cache directory (results are identical with or without it)")
-		jsonOut = flag.Bool("json", false, "also write a machine-readable BENCH_<app>_<system>.json trajectory record")
-		quiet   = flag.Bool("quiet", false, "suppress the sweep progress line on stderr")
-		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		jobs     = flag.Int("jobs", runtime.NumCPU(), "parallel simulation cells for multi-run steps like -place")
+		cache    = flag.String("cache", "", "persistent result cache directory (results are identical with or without it)")
+		jsonOut  = flag.Bool("json", false, "also write a machine-readable BENCH_<app>_<system>.json trajectory record")
+		quiet    = flag.Bool("quiet", false, "suppress the sweep progress line on stderr")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 		traceDir = flag.String("trace", "", "record a cycle-exact trace into this directory (trace.json + stalls.folded + summary.json; see cmd/dsptrace)")
 		traceN   = flag.Int("trace-every", trace.DefaultSampleEvery, "with -trace: sample every n-th source tuple tree")
@@ -79,6 +81,7 @@ func main() {
 		App: *app, System: *system,
 		Sockets: *sockets, Cores: *cores,
 		BatchSize: *batch, Seed: *seed, Scale: *scale,
+		Spec: *spec,
 	}
 	if *events > 0 {
 		if def := cell.Events(); def > 0 {
@@ -109,6 +112,26 @@ func main() {
 			cell.Placement = best.Placement()
 			fmt.Printf("placement: k=%d, estimated cross-socket cost %.1f\n", best.K, best.Cost)
 		}
+	}
+
+	if *tier {
+		if *traceDir != "" {
+			fail(fmt.Errorf("-tier never simulates the cell, so there is no run to -trace"))
+		}
+		if *jsonOut {
+			fail(fmt.Errorf("-json records measured trajectories; run without -tier to simulate"))
+		}
+		est, err := bench.EstimateCell(cell)
+		fail(err)
+		fmt.Printf("%s on %s: %d sockets, batch S=%d — fast-tier estimate (cell not simulated)\n",
+			*app, *system, *sockets, *batch)
+		fmt.Printf("  probe        unplaced full machine at S=1: %10.1f k events/s measured\n",
+			est.ProbeThroughputEPS/1e3)
+		fmt.Printf("  predicted    throughput %10.1f k events/s   mean latency %.2f ms\n",
+			est.Pred.ThroughputEPS/1e3, est.Pred.LatencyMs)
+		fmt.Printf("  model        bottleneck %.3g cycles   uncertainty %.2f\n",
+			est.Pred.BottleneckCycles, est.Pred.Uncertainty)
+		return
 	}
 
 	var res *engine.Result
@@ -152,7 +175,7 @@ func main() {
 // simulator build, so regression tooling can tell "same experiment, new
 // code" apart from "different experiment".
 type benchRecord struct {
-	Schema    string `json:"schema"` // "dspbench/v1"
+	Schema    string `json:"schema"` // "dspbench/v2"
 	CellKey   string `json:"cell_key"`
 	Canonical string `json:"canonical"`
 
@@ -160,6 +183,7 @@ type benchRecord struct {
 	System  string `json:"system"`
 	Sockets int    `json:"sockets"`
 	Batch   int    `json:"batch"`
+	Spec    string `json:"spec,omitempty"` // machine spec variant; "" = Table III
 
 	ThroughputKps float64 `json:"throughput_k_events_per_s"`
 	LatencyP50Ms  float64 `json:"latency_p50_ms"`
@@ -170,17 +194,45 @@ type benchRecord struct {
 	ElapsedSimS   float64 `json:"elapsed_simulated_s"`
 	WallSeconds   float64 `json:"wall_seconds"` // host compute time; not deterministic
 	ChargedCycles int64   `json:"charged_cycles"`
+
+	// Memo and Tier snapshot the process-wide counters at write time. For a
+	// single-cell dspbench run Memo says whether the result was simulated
+	// fresh (simulated=1) or served from cache; under -place or future
+	// multi-cell flows the counts cover every cell the process touched.
+	Memo benchMemoStats `json:"memo"`
+	Tier benchTierStats `json:"tier"`
+}
+
+// benchMemoStats mirrors memo.Stats with trajectory-record field names:
+// simulated = cells actually run, deduped = served from the in-memory
+// layer (including single-flight joins), from_disk = persistent-cache hits.
+type benchMemoStats struct {
+	Simulated int64 `json:"simulated"`
+	Deduped   int64 `json:"deduped"`
+	FromDisk  int64 `json:"from_disk"`
+}
+
+// benchTierStats counts fast-tier activity: cells screened analytically,
+// cells verified by full simulation, and probe simulations run. All zero
+// unless a tiered sweep ran in this process.
+type benchTierStats struct {
+	Screened int64 `json:"screened"`
+	Verified int64 `json:"verified"`
+	Probes   int64 `json:"probes"`
 }
 
 func writeBenchJSON(cell bench.Cell, res *engine.Result) (string, error) {
+	st := bench.MemoStats()
+	screened, verified, probes := bench.TierStats()
 	rec := benchRecord{
-		Schema:        "dspbench/v1",
+		Schema:        "dspbench/v2",
 		CellKey:       bench.CellKey(cell),
 		Canonical:     cell.Canonical(),
 		App:           cell.App,
 		System:        cell.System,
 		Sockets:       cell.Sockets,
 		Batch:         cell.BatchSize,
+		Spec:          cell.Spec,
 		ThroughputKps: res.Throughput().KPerSecond(),
 		LatencyP50Ms:  res.Latency.Quantile(0.5),
 		LatencyP99Ms:  res.Latency.Quantile(0.99),
@@ -189,6 +241,8 @@ func writeBenchJSON(cell bench.Cell, res *engine.Result) (string, error) {
 		ElapsedSimS:   res.ElapsedSeconds,
 		WallSeconds:   res.WallSeconds,
 		ChargedCycles: int64(res.ChargedCycles),
+		Memo:          benchMemoStats{Simulated: st.Runs, Deduped: st.MemHits, FromDisk: st.DiskHits},
+		Tier:          benchTierStats{Screened: screened, Verified: verified, Probes: probes},
 	}
 	name := fmt.Sprintf("BENCH_%s_%s.json", cell.App, cell.System)
 	data, err := json.MarshalIndent(rec, "", "  ")

@@ -26,9 +26,62 @@ type experiment struct {
 	id   string
 	desc string
 	run  func() (string, error)
+	// explicitOnly experiments run only when -experiment names them
+	// (tier-smoke re-simulates its sweep exhaustively as a cross-check,
+	// which a full report should not pay for).
+	explicitOnly bool
 }
 
-func experiments() []experiment {
+func experiments(tier bool) []experiment {
+	exps := baseExperiments()
+	if !tier {
+		return exps
+	}
+	// The tiered set swaps the screened sweeps in under their familiar
+	// IDs — fig6b/fig6c/fig12 gain width, not new names — and adds the
+	// spec matrix that only the fast tier makes affordable.
+	tiered := map[string]experiment{
+		"fig6b": {id: "fig6b", desc: "Storm scalability over cores (tiered, wide)", run: func() (string, error) {
+			r, err := bench.TieredScalability("storm")
+			if err != nil {
+				return "", err
+			}
+			return bench.TieredScalabilityTable("storm", r), nil
+		}},
+		"fig6c": {id: "fig6c", desc: "Flink scalability over cores (tiered, wide)", run: func() (string, error) {
+			r, err := bench.TieredScalability("flink")
+			if err != nil {
+				return "", err
+			}
+			return bench.TieredScalabilityTable("flink", r), nil
+		}},
+		"fig12": {id: "fig12", desc: "tuple batching (tiered, wide)", run: func() (string, error) {
+			r, err := bench.TieredBatching()
+			if err != nil {
+				return "", err
+			}
+			return bench.TieredBatchingTables(r), nil
+		}},
+	}
+	for i := range exps {
+		if t, ok := tiered[exps[i].id]; ok {
+			exps[i] = t
+		}
+	}
+	return append(exps,
+		experiment{id: "tier-specs", desc: "machine-variant scenario matrix (tiered)", run: func() (string, error) {
+			r, err := bench.SpecMatrix()
+			if err != nil {
+				return "", err
+			}
+			return bench.SpecMatrixTable(r), nil
+		}},
+		experiment{id: "tier-smoke", desc: "fast-tier CI gate: verified-row identity and rank-tau (runs only when selected)",
+			run: bench.TierSmoke, explicitOnly: true},
+	)
+}
+
+func baseExperiments() []experiment {
 	// No local result sharing: the bench package memoizes every cell by
 	// content, so the experiments that reuse the single-socket study (and
 	// each other's baselines) deduplicate simulation work automatically.
@@ -42,25 +95,25 @@ func experiments() []experiment {
 		}
 	}
 	return []experiment{
-		{"fig6a", "throughput per application, single socket", fromStudy(bench.Fig6aTable)},
-		{"fig6b", "Storm scalability over cores and sockets", func() (string, error) {
+		{id: "fig6a", desc: "throughput per application, single socket", run: fromStudy(bench.Fig6aTable)},
+		{id: "fig6b", desc: "Storm scalability over cores and sockets", run: func() (string, error) {
 			r, err := bench.Scalability("storm")
 			if err != nil {
 				return "", err
 			}
 			return r.Table(), nil
 		}},
-		{"fig6c", "Flink scalability over cores and sockets", func() (string, error) {
+		{id: "fig6c", desc: "Flink scalability over cores and sockets", run: func() (string, error) {
 			r, err := bench.Scalability("flink")
 			if err != nil {
 				return "", err
 			}
 			return r.Table(), nil
 		}},
-		{"table4", "CPU and memory bandwidth utilization", fromStudy(bench.TableIV)},
-		{"fig7", "execution time breakdown", fromStudy(bench.Fig7Table)},
-		{"fig8", "front-end stall breakdown", fromStudy(bench.Fig8Table)},
-		{"fig9", "instruction footprint CDF (both systems)", func() (string, error) {
+		{id: "table4", desc: "CPU and memory bandwidth utilization", run: fromStudy(bench.TableIV)},
+		{id: "fig7", desc: "execution time breakdown", run: fromStudy(bench.Fig7Table)},
+		{id: "fig8", desc: "front-end stall breakdown", run: fromStudy(bench.Fig8Table)},
+		{id: "fig9", desc: "instruction footprint CDF (both systems)", run: func() (string, error) {
 			s, err := bench.FootprintCDF("storm")
 			if err != nil {
 				return "", err
@@ -71,29 +124,29 @@ func experiments() []experiment {
 			}
 			return bench.Fig9Table(s) + "\n" + bench.Fig9Table(f), nil
 		}},
-		{"table5", "LLC miss stalls on four sockets", func() (string, error) {
+		{id: "table5", desc: "LLC miss stalls on four sockets", run: func() (string, error) {
 			rows, err := bench.TableV("storm")
 			if err != nil {
 				return "", err
 			}
 			return bench.TableVTable("storm", rows), nil
 		}},
-		{"fig10", "TM Map-Matcher executor sweep", func() (string, error) {
+		{id: "fig10", desc: "TM Map-Matcher executor sweep", run: func() (string, error) {
 			rows, err := bench.Fig10()
 			if err != nil {
 				return "", err
 			}
 			return bench.Fig10Table(rows), nil
 		}},
-		{"fig11", "back-end stall breakdown", fromStudy(bench.Fig11Table)},
-		{"fig12", "tuple batching: throughput", func() (string, error) {
+		{id: "fig11", desc: "back-end stall breakdown", run: fromStudy(bench.Fig11Table)},
+		{id: "fig12", desc: "tuple batching: throughput", run: func() (string, error) {
 			rows, err := bench.Batching()
 			if err != nil {
 				return "", err
 			}
 			return bench.Fig12Table(rows) + "\n" + bench.Fig13Table(rows), nil
 		}},
-		{"fig14", "NUMA-aware placement and combined optimizations", func() (string, error) {
+		{id: "fig14", desc: "NUMA-aware placement and combined optimizations", run: func() (string, error) {
 			rows, val, err := bench.Placement()
 			if err != nil {
 				return "", err
@@ -101,28 +154,28 @@ func experiments() []experiment {
 			return bench.Fig14Table(rows) + "\n" + bench.Fig15Table(rows) +
 				"\n" + bench.ModelValidationTable(val), nil
 		}},
-		{"gc", "G1 vs parallelGC overhead (§V-D)", func() (string, error) {
+		{id: "gc", desc: "G1 vs parallelGC overhead (§V-D)", run: func() (string, error) {
 			rows, err := bench.GCStudy(apps.BenchmarkNames())
 			if err != nil {
 				return "", err
 			}
 			return bench.GCTable(rows), nil
 		}},
-		{"hugepages", "huge-pages TLB ablation (§V-D)", func() (string, error) {
+		{id: "hugepages", desc: "huge-pages TLB ablation (§V-D)", run: func() (string, error) {
 			rows, err := bench.HugePages(apps.BenchmarkNames())
 			if err != nil {
 				return "", err
 			}
 			return bench.HugePagesTable(rows), nil
 		}},
-		{"placement-ablation", "min-k-cut vs round-robin placement", func() (string, error) {
+		{id: "placement-ablation", desc: "min-k-cut vs round-robin placement", run: func() (string, error) {
 			rows, err := bench.PlacementAblation([]string{"wc", "vs", "lr"})
 			if err != nil {
 				return "", err
 			}
 			return bench.PlacementAblationTable(rows), nil
 		}},
-		{"load-latency", "extension: open-loop latency vs offered load", func() (string, error) {
+		{id: "load-latency", desc: "extension: open-loop latency vs offered load", run: func() (string, error) {
 			out := ""
 			for _, sys := range []string{"storm", "flink"} {
 				rows, err := bench.LoadLatency("wc", sys, 1)
@@ -133,7 +186,7 @@ func experiments() []experiment {
 			}
 			return out, nil
 		}},
-		{"sustainable", "extension: sustainable throughput under a p99 bound", func() (string, error) {
+		{id: "sustainable", desc: "extension: sustainable throughput under a p99 bound", run: func() (string, error) {
 			var rows []*bench.SustainableResult
 			for _, sys := range []string{"storm", "flink"} {
 				r, err := bench.Sustainable("wc", sys, 5.0)
@@ -144,14 +197,14 @@ func experiments() []experiment {
 			}
 			return bench.SustainableTable(rows), nil
 		}},
-		{"chaining-ablation", "extension: Flink-style operator chaining on/off", func() (string, error) {
+		{id: "chaining-ablation", desc: "extension: Flink-style operator chaining on/off", run: func() (string, error) {
 			rows, err := bench.ChainingAblation([]string{"sd", "wc", "fd"})
 			if err != nil {
 				return "", err
 			}
 			return bench.ChainingTable(rows), nil
 		}},
-		{"uopcache-ablation", "decoded-µop cache on/off (§V-B)", func() (string, error) {
+		{id: "uopcache-ablation", desc: "decoded-µop cache on/off (§V-B)", run: func() (string, error) {
 			rows, err := bench.UopCacheAblation(apps.BenchmarkNames())
 			if err != nil {
 				return "", err
@@ -247,7 +300,8 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write plot-ready CSV files into this directory")
 		jobs       = flag.Int("jobs", runtime.NumCPU(), "parallel simulation cells per sweep (results are identical at any value)")
 		cache      = flag.String("cache", "", "persistent result cache directory (results are identical with or without it; stale builds' entries are pruned)")
-		quiet      = flag.Bool("quiet", false, "suppress the sweep progress line on stderr")
+		quiet      = flag.Bool("quiet", false, "suppress the sweep progress line and the memo/tier stats lines on stderr")
+		tier       = flag.Bool("tier", false, "tiered evaluation: screen widened sweeps with the calibrated fast tier, simulate only the interesting cells (adds fig6b/c and fig12 width, the tier-specs matrix, and a validation summary)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		nativeVal  = flag.Bool("native-validate", false, "run the native-runtime validation loop and exit (wall-clock on this host; NOT deterministic, so it is never part of the default experiment set)")
@@ -291,7 +345,7 @@ func main() {
 		return
 	}
 
-	exps := experiments()
+	exps := experiments(*tier)
 	if *list {
 		ids := make([]string, 0, len(exps))
 		for _, e := range exps {
@@ -310,8 +364,14 @@ func main() {
 		if *pick != "" && e.id != *pick {
 			continue
 		}
+		if *pick == "" && e.explicitOnly {
+			continue
+		}
 		out, err := e.run()
 		if err != nil {
+			if out != "" {
+				fmt.Printf("%s\n", out)
+			}
 			fmt.Fprintf(os.Stderr, "dspreport: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
@@ -322,7 +382,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dspreport: unknown experiment %q (try -list)\n", *pick)
 		os.Exit(1)
 	}
-	st := bench.MemoStats()
-	fmt.Fprintf(os.Stderr, "dspreport: %d experiment(s) in %.1fs (jobs=%d; %d simulated, %d deduped, %d from cache)\n",
-		ran, time.Since(start).Seconds(), bench.Jobs(), st.Runs, st.MemHits, st.DiskHits)
+	if *tier {
+		if rows := bench.TierValidations(); len(rows) > 0 {
+			fmt.Printf("%s\n", bench.TierValidationTable(rows))
+		}
+	}
+	if !*quiet {
+		st := bench.MemoStats()
+		fmt.Fprintf(os.Stderr, "dspreport: %d experiment(s) in %.1fs (jobs=%d; %d simulated, %d deduped, %d from cache)\n",
+			ran, time.Since(start).Seconds(), bench.Jobs(), st.Runs, st.MemHits, st.DiskHits)
+		if *tier {
+			sc, ver, pr := bench.TierStats()
+			fmt.Fprintf(os.Stderr, "dspreport: tier: %d cells screened, %d verified by simulation, %d probe request(s)\n",
+				sc, ver, pr)
+		}
+	}
 }

@@ -198,14 +198,15 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 // be bit-identical across runs.
 func DefaultDeterministic(modPath string) func(importPath, filename string) bool {
 	full := map[string]bool{
-		modPath + "/internal/sim":      true,
-		modPath + "/internal/hw":       true,
-		modPath + "/internal/profiler": true,
-		modPath + "/internal/gen":      true,
-		modPath + "/internal/apps":     true,
-		modPath + "/internal/place":    true,
-		modPath + "/internal/trace":    true,
-		modPath + "/cmd/dspreport":     true,
+		modPath + "/internal/sim":        true,
+		modPath + "/internal/hw":         true,
+		modPath + "/internal/profiler":   true,
+		modPath + "/internal/gen":        true,
+		modPath + "/internal/apps":       true,
+		modPath + "/internal/place":      true,
+		modPath + "/internal/place/eval": true,
+		modPath + "/internal/trace":      true,
+		modPath + "/cmd/dspreport":       true,
 	}
 	return func(importPath, filename string) bool {
 		if full[importPath] {

@@ -61,6 +61,25 @@ type Cell struct {
 	// ParallelismOverride adjusts named operators' executor counts after
 	// the app is built (e.g. the Fig 10 Map-Match sweep).
 	ParallelismOverride map[string]int
+	// Spec selects a named machine-spec variant (hw.Variant; "" = the
+	// Table III baseline). HugePages/NoUopCache compose on top of it.
+	Spec string
+}
+
+// MachineSpec resolves the cell's machine: the named variant with the
+// HugePages and NoUopCache ablations applied on top.
+func (c Cell) MachineSpec() (hw.MachineSpec, error) {
+	spec, ok := hw.Variant(c.Spec)
+	if !ok {
+		return hw.MachineSpec{}, fmt.Errorf("bench: unknown machine spec variant %q (have %v; empty = Table III baseline)", c.Spec, hw.VariantNames()[1:])
+	}
+	if c.HugePages {
+		spec = spec.WithHugePages()
+	}
+	if c.NoUopCache {
+		spec.Decode.UopCacheBytes = 0
+	}
+	return spec, nil
 }
 
 func systemProfile(name string) (engine.SystemProfile, error) {
@@ -156,13 +175,10 @@ func runCell(c Cell, tr *trace.Tracer) (*engine.Result, error) {
 		GC:        c.GC,
 		Trace:     tr,
 	}
-	if c.HugePages || c.NoUopCache {
-		spec := hw.TableIII()
-		if c.HugePages {
-			spec = spec.WithHugePages()
-		}
-		if c.NoUopCache {
-			spec.Decode.UopCacheBytes = 0
+	if c.Spec != "" || c.HugePages || c.NoUopCache {
+		spec, err := c.MachineSpec()
+		if err != nil {
+			return nil, err
 		}
 		cfg.Spec = spec
 	}

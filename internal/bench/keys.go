@@ -24,7 +24,16 @@ import (
 // too-conservative key can cost a duplicate simulation but never alias
 // two distinguishable cells.
 func (c Cell) Canonical() string {
+	// Clamps resolve against the cell's machine variant ("" = Table III):
+	// "all sockets" on an 8x4 machine is 8, not 4. An unknown variant name
+	// serializes verbatim against baseline clamps — Run will reject it
+	// before anything is cached, so the key only has to stay distinct.
 	spec := hw.TableIII()
+	if c.Spec != "" {
+		if v, ok := hw.Variant(c.Spec); ok {
+			spec = v
+		}
+	}
 
 	sockets := c.Sockets
 	if sockets <= 0 || sockets > spec.Sockets {
@@ -56,8 +65,8 @@ func (c Cell) Canonical() string {
 
 	var sb strings.Builder
 	sb.Grow(256)
-	fmt.Fprintf(&sb, "cell-v1|app=%q|sys=%q|sockets=%d|cores=%d|batch=%d|events=%d|scale=%d|seed=%d",
-		c.App, c.System, sockets, cores, batch, c.Events(), scale, seed)
+	fmt.Fprintf(&sb, "cell-v2|app=%q|sys=%q|spec=%q|sockets=%d|cores=%d|batch=%d|events=%d|scale=%d|seed=%d",
+		c.App, c.System, c.Spec, sockets, cores, batch, c.Events(), scale, seed)
 	fmt.Fprintf(&sb, "|gc=%d,%d,%s,%s,%s,%d,%s,%t",
 		int(gc.Kind), gc.YoungBytes,
 		ff(gc.SurvivorFraction), ff(gc.CopyCyclesPerByte), ff(gc.ScanCyclesPerByte),

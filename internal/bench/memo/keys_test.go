@@ -42,6 +42,7 @@ func TestCanonicalSingleFieldDifferences(t *testing.T) {
 		{"gc-kind", func(c *bench.Cell) { c.GC = jvm.Parallel() }},
 		{"gc-young", func(c *bench.Cell) { c.GC = smallYoung }},
 		{"gc-survivor", func(c *bench.Cell) { c.GC = survivor }},
+		{"spec", func(c *bench.Cell) { c.Spec = "turbo" }},
 		{"hugepages", func(c *bench.Cell) { c.HugePages = true }},
 		{"nouopcache", func(c *bench.Cell) { c.NoUopCache = true }},
 		{"chaining", func(c *bench.Cell) { c.Chaining = true }},
@@ -108,6 +109,7 @@ func TestCanonicalRuntimeClamps(t *testing.T) {
 		{"seed 0 == 1", func(c *bench.Cell) { c.Seed = 0 }, func(c *bench.Cell) { c.Seed = 1 }},
 		{"scale 0 == 1", func(c *bench.Cell) { c.Scale = 0 }, func(c *bench.Cell) { c.Scale = 1 }},
 		{"sockets 0 == full machine", func(c *bench.Cell) { c.Sockets = 0 }, func(c *bench.Cell) { c.Sockets = 4 }},
+		{"spec-aware socket clamp", func(c *bench.Cell) { c.Spec = "2x16"; c.Sockets = 0 }, func(c *bench.Cell) { c.Spec = "2x16"; c.Sockets = 2 }},
 		{"cores 0 == all enabled", func(c *bench.Cell) { c.Sockets = 4; c.Cores = 0 }, func(c *bench.Cell) { c.Sockets = 4; c.Cores = 32 }},
 		{"eventscale 0 == 1.0", func(c *bench.Cell) { c.EventScale = 0 }, func(c *bench.Cell) { c.EventScale = 1.0 }},
 		{"gc zero == G1", func(c *bench.Cell) { c.GC = jvm.Config{} }, func(c *bench.Cell) { c.GC = jvm.G1() }},

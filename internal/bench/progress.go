@@ -66,13 +66,19 @@ func (p *progressMeter) tick() {
 		return // another worker is printing this interval
 	}
 	elapsed := now.Sub(p.start)
-	eta := "--"
+	// Rate and ETA divide by elapsed and n respectively; both can be zero
+	// on the first tick (a cache hit completes in the clock's granularity),
+	// so each division is guarded rather than trusted.
+	eta, rate := "--", "--"
 	if n > 0 {
 		rem := time.Duration(float64(elapsed) / float64(n) * float64(int64(p.total)-n))
 		eta = rem.Round(time.Second).String()
 	}
-	fmt.Fprintf(os.Stderr, "\r\x1b[K%d/%d cells  elapsed %s  eta %s",
-		n, p.total, elapsed.Round(time.Second), eta)
+	if secs := elapsed.Seconds(); secs > 0 {
+		rate = fmt.Sprintf("%.1f/s", float64(n)/secs)
+	}
+	fmt.Fprintf(os.Stderr, "\r\x1b[K%d/%d cells  elapsed %s  %s  eta %s",
+		n, p.total, elapsed.Round(time.Second), rate, eta)
 }
 
 // finish clears the progress line so subsequent output starts clean.

@@ -1,0 +1,431 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"streamscale/internal/engine"
+	"streamscale/internal/hw"
+	"streamscale/internal/place/eval"
+)
+
+// The tiered sweep engine: every cell of a sweep is screened by the fast
+// analytical tier (internal/place/eval — microseconds per cell), and only
+// the cells the screen flags as interesting are verified by cycle-exact
+// simulation. One probe simulation per workload amortizes over every cell
+// that shares it, through the same memo layer as everything else; the
+// probe of a four-socket workload IS the placement search's probe and the
+// Fig 14 baseline, so it is usually free. Verified cells go through the
+// ordinary memoized Run, so a verified row is byte-identical to what the
+// untiered path produces for the same cell — the tier can skip
+// simulations, never change them.
+
+// ProbeCell returns the calibration probe for a cell: the same workload
+// (app, system, scale, seed, GC, ablations, chaining, overrides) run
+// unplaced on the full baseline machine at batch 1 with default events.
+// Everything the probe drops is exactly what the fast tier models
+// analytically (batch, slice, placement, spec variant, event count), so
+// every cell of a sweep that varies only those axes shares one probe.
+func ProbeCell(c Cell) Cell {
+	c.BatchSize = 1
+	c.Placement = nil
+	c.Sockets = 0
+	c.Cores = 0
+	c.EventScale = 0
+	c.Spec = ""
+	return c
+}
+
+// TierGroup is one comparison group of a tiered sweep: the cells ranked
+// against each other (one app/system series of a figure). The first cell
+// is the group's anchor — the normalization base of the rendered table —
+// and is always verified.
+type TierGroup struct {
+	Name  string
+	Cells []Cell
+}
+
+// TierPolicy selects which screened cells get full simulation.
+type TierPolicy struct {
+	// Budget caps verified cells per group (<= 0 selects 4).
+	Budget int
+	// Neighborhood verifies the cells adjacent (in group order) to the
+	// predicted best: the crossover region where a ranking error would
+	// change the sweep's conclusion.
+	Neighborhood int
+	// Midpoint verifies the middle cell of the group, anchoring the
+	// rank-correlation check across the group's full range rather than
+	// only at its extremes.
+	Midpoint bool
+}
+
+// TierCell is one screened cell of a tiered sweep.
+type TierCell struct {
+	Cell Cell
+	Pred eval.Prediction
+	// Res is non-nil iff the cell was simulation-verified; it is the
+	// same memoized Result the untiered path returns for this cell.
+	Res *engine.Result
+}
+
+// TierValidationRow summarizes one tiered sweep's model-vs-simulation
+// agreement over its verified cells.
+type TierValidationRow struct {
+	Sweep string
+	// Screened counts analytically evaluated cells; Verified those also
+	// simulated; Probes the distinct calibration simulations requested.
+	Screened, Verified, Probes int
+	// RankTau is the Kendall rank correlation between predicted and
+	// measured throughput over verified pairs within each group. Pairs
+	// the model scores within tierRankEps of each other are skipped (the
+	// model claims no order there); Pairs counts the pairs that remain.
+	RankTau float64
+	Pairs   int
+	// MeanErr is the mean relative error of predicted vs measured
+	// throughput over the verified cells.
+	MeanErr float64
+}
+
+// tierRankEps is the model's ranking resolution: predicted throughputs
+// within 0.5% are one tier (the same resolution the placement search uses
+// for batched score tiers), so the validation's rank-tau only counts
+// pairs where the model actually asserts an order.
+const tierRankEps = 0.005
+
+// TierRun is the outcome of one tiered sweep.
+type TierRun struct {
+	Name   string
+	Groups []TierGroup
+	// Cells mirrors Groups: Cells[g][i] is Groups[g].Cells[i] screened
+	// (and possibly verified).
+	Cells      [][]TierCell
+	Validation TierValidationRow
+}
+
+// Package-wide tier counters (the CLIs' stats lines and the BENCH record
+// schema report them, like MemoStats for the memo layer).
+var (
+	tierScreened atomic.Int64
+	tierVerified atomic.Int64
+	tierProbes   atomic.Int64
+
+	tierValMu   sync.Mutex
+	tierValRows []TierValidationRow
+)
+
+// TierStats returns the process-wide fast-tier counters: analytically
+// screened cells, simulation-verified cells, and probe simulations
+// requested (distinct per sweep; the memo layer dedups across sweeps).
+func TierStats() (screened, verified, probes int64) {
+	return tierScreened.Load(), tierVerified.Load(), tierProbes.Load()
+}
+
+// TierValidations returns the validation rows of every tiered sweep run
+// so far, in execution order.
+func TierValidations() []TierValidationRow {
+	tierValMu.Lock()
+	defer tierValMu.Unlock()
+	return append([]TierValidationRow(nil), tierValRows...)
+}
+
+// ResetTierStats clears the tier counters and validation rows (tests).
+func ResetTierStats() {
+	tierScreened.Store(0)
+	tierVerified.Store(0)
+	tierProbes.Store(0)
+	tierValMu.Lock()
+	tierValRows = nil
+	tierValMu.Unlock()
+}
+
+func recordTierValidation(r TierValidationRow) {
+	tierValMu.Lock()
+	tierValRows = append(tierValRows, r)
+	tierValMu.Unlock()
+}
+
+// estimatorFor builds the fast-tier estimator from a probe cell and its
+// simulated result.
+func estimatorFor(probe Cell, res *engine.Result) (*eval.Estimator, error) {
+	sys, err := systemProfile(probe.System)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := probe.MachineSpec()
+	if err != nil {
+		return nil, err
+	}
+	return eval.New(res, spec, sys, 1)
+}
+
+// targetFor translates a cell into the estimator's target relative to its
+// probe. A partial Placement map (fewer entries than executors) falls back
+// to the OS-spread model; the sweeps in this package only produce full
+// maps (the placement search's output).
+func targetFor(c Cell, probeSpec hw.MachineSpec, est *eval.Estimator) (eval.Target, error) {
+	t := eval.Target{Sockets: c.Sockets, Cores: c.Cores, Batch: c.BatchSize}
+	spec, err := c.MachineSpec()
+	if err != nil {
+		return t, err
+	}
+	if spec != probeSpec {
+		t.Spec = spec
+	}
+	if len(c.Placement) == est.N() {
+		assign := make([]int, est.N())
+		for i := range assign {
+			s, ok := c.Placement[i]
+			if !ok {
+				return t, fmt.Errorf("bench: placement map missing executor %d", i)
+			}
+			assign[i] = s
+		}
+		t.Assign = assign
+	}
+	return t, nil
+}
+
+// RunCellsTiered screens every cell of every group analytically, verifies
+// the policy-selected subset by full simulation, and folds the sweep's
+// model-validation summary. Probe and verification simulations go through
+// the ordinary memoized pool, so anything another sweep (tiered or not)
+// already ran is shared, and verified Results are byte-identical to the
+// untiered path's.
+func RunCellsTiered(name string, groups []TierGroup, pol TierPolicy) (*TierRun, error) {
+	run := &TierRun{Name: name, Groups: groups}
+
+	// Distinct probes for the whole sweep, in first-appearance order.
+	var probeCells []Cell
+	probeIdx := make(map[string]int)
+	probeOf := make([][]int, len(groups))
+	for gi, g := range groups {
+		probeOf[gi] = make([]int, len(g.Cells))
+		for ci, c := range g.Cells {
+			p := ProbeCell(c)
+			key := p.Canonical()
+			i, ok := probeIdx[key]
+			if !ok {
+				i = len(probeCells)
+				probeIdx[key] = i
+				probeCells = append(probeCells, p)
+			}
+			probeOf[gi][ci] = i
+		}
+	}
+	probeResults, err := runCells(probeCells)
+	if err != nil {
+		return nil, fmt.Errorf("tier %s probes: %w", name, err)
+	}
+	tierProbes.Add(int64(len(probeCells)))
+
+	ests := make([]*eval.Estimator, len(probeCells))
+	specs := make([]hw.MachineSpec, len(probeCells))
+	for i, pr := range probeResults {
+		if ests[i], err = estimatorFor(pr.Cell, pr.Res); err != nil {
+			return nil, fmt.Errorf("tier %s calibrate %s/%s: %w", name, pr.Cell.App, pr.Cell.System, err)
+		}
+		if specs[i], err = pr.Cell.MachineSpec(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Screen everything, then pick the verification set per group.
+	run.Cells = make([][]TierCell, len(groups))
+	var verifyCells []Cell
+	type ref struct{ g, i int }
+	var verifyRefs []ref
+	for gi, g := range groups {
+		run.Cells[gi] = make([]TierCell, len(g.Cells))
+		for ci, c := range g.Cells {
+			pi := probeOf[gi][ci]
+			t, err := targetFor(c, specs[pi], ests[pi])
+			if err != nil {
+				return nil, fmt.Errorf("tier %s %s: %w", name, g.Name, err)
+			}
+			pred, err := ests[pi].Estimate(t)
+			if err != nil {
+				return nil, fmt.Errorf("tier %s %s cell %d: %w", name, g.Name, ci, err)
+			}
+			run.Cells[gi][ci] = TierCell{Cell: c, Pred: pred}
+		}
+		tierScreened.Add(int64(len(g.Cells)))
+		for _, i := range pol.pick(run.Cells[gi]) {
+			verifyCells = append(verifyCells, g.Cells[i])
+			verifyRefs = append(verifyRefs, ref{gi, i})
+		}
+	}
+
+	verifyResults, err := runCells(verifyCells)
+	if err != nil {
+		return nil, fmt.Errorf("tier %s verify: %w", name, err)
+	}
+	for i, r := range verifyRefs {
+		run.Cells[r.g][r.i].Res = verifyResults[i].Res
+	}
+	tierVerified.Add(int64(len(verifyCells)))
+
+	run.Validation = validateTier(name, run, len(probeCells))
+	recordTierValidation(run.Validation)
+	return run, nil
+}
+
+// pick returns the indices to verify, deduplicated, in priority order:
+// the predicted best, the group anchor (index 0), the midpoint, the
+// best's neighbors, then the highest-uncertainty cell. Ties break to the
+// lower index, so the selection is deterministic.
+func (pol TierPolicy) pick(cells []TierCell) []int {
+	budget := pol.Budget
+	if budget <= 0 {
+		budget = 4
+	}
+	n := len(cells)
+	if n == 0 {
+		return nil
+	}
+	best, maxU := 0, 0
+	for i := 1; i < n; i++ {
+		if cells[i].Pred.ThroughputEPS > cells[best].Pred.ThroughputEPS {
+			best = i
+		}
+		if cells[i].Pred.Uncertainty > cells[maxU].Pred.Uncertainty {
+			maxU = i
+		}
+	}
+	cand := []int{best, 0}
+	if pol.Midpoint {
+		cand = append(cand, n/2)
+	}
+	for k := 1; k <= pol.Neighborhood; k++ {
+		if best-k >= 0 {
+			cand = append(cand, best-k)
+		}
+		if best+k < n {
+			cand = append(cand, best+k)
+		}
+	}
+	cand = append(cand, maxU)
+
+	seen := make(map[int]bool, len(cand))
+	var out []int
+	for _, i := range cand {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+			if len(out) == budget {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// validateTier folds a finished tiered run into its validation row.
+func validateTier(name string, run *TierRun, probes int) TierValidationRow {
+	row := TierValidationRow{Sweep: name, Probes: probes}
+	conc, disc := 0, 0
+	var errSum float64
+	var errN int
+	for _, group := range run.Cells {
+		row.Screened += len(group)
+		var ver []*TierCell
+		for i := range group {
+			if group[i].Res != nil {
+				ver = append(ver, &group[i])
+			}
+		}
+		row.Verified += len(ver)
+		for i := 0; i < len(ver); i++ {
+			mi := ver[i].Res.Throughput().PerSecond()
+			if mi > 0 {
+				d := (ver[i].Pred.ThroughputEPS - mi) / mi
+				errSum += math.Abs(d)
+				errN++
+			}
+			for j := i + 1; j < len(ver); j++ {
+				pi, pj := ver[i].Pred.ThroughputEPS, ver[j].Pred.ThroughputEPS
+				if math.Abs(pi-pj) <= tierRankEps*math.Max(pi, pj) {
+					continue // model asserts no order at this resolution
+				}
+				mj := ver[j].Res.Throughput().PerSecond()
+				if mi == mj {
+					continue
+				}
+				if (pi > pj) == (mi > mj) {
+					conc++
+				} else {
+					disc++
+				}
+			}
+		}
+	}
+	row.Pairs = conc + disc
+	if row.Pairs > 0 {
+		row.RankTau = float64(conc-disc) / float64(row.Pairs)
+	}
+	if errN > 0 {
+		row.MeanErr = errSum / float64(errN)
+	}
+	return row
+}
+
+// TierValidationTable renders the per-sweep validation summary the -tier
+// report emits after its experiments (rank-tau >= 0.90 on every converted
+// sweep is the fast tier's accuracy gate; ci.sh asserts it on the smoke
+// sweep).
+func TierValidationTable(rows []TierValidationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tier validation — fast-tier predictions vs full simulation (verified cells)\n")
+	fmt.Fprintf(&b, "%-14s %9s %9s %7s %9s %7s %9s\n",
+		"sweep", "screened", "verified", "probes", "rank-tau", "pairs", "mean-err")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %9d %9d %7d %9.2f %7d %8.1f%%\n",
+			r.Sweep, r.Screened, r.Verified, r.Probes, r.RankTau, r.Pairs, r.MeanErr*100)
+	}
+	return b.String()
+}
+
+// TierEstimate is one cell's fast-tier estimate (dspbench -tier): the
+// probe that calibrated it and the resulting prediction.
+type TierEstimate struct {
+	Cell  Cell
+	Probe Cell
+	// ProbeThroughputEPS is the probe's measured throughput, for scale.
+	ProbeThroughputEPS float64
+	Pred               eval.Prediction
+}
+
+// EstimateCell screens one cell through the fast tier: one memoized probe
+// simulation (often already cached), then an analytical estimate.
+func EstimateCell(c Cell) (*TierEstimate, error) {
+	probe := ProbeCell(c)
+	res, err := Run(probe)
+	if err != nil {
+		return nil, err
+	}
+	tierProbes.Add(1)
+	est, err := estimatorFor(probe, res)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := probe.MachineSpec()
+	if err != nil {
+		return nil, err
+	}
+	t, err := targetFor(c, spec, est)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := est.Estimate(t)
+	if err != nil {
+		return nil, err
+	}
+	tierScreened.Add(1)
+	return &TierEstimate{
+		Cell: c, Probe: probe,
+		ProbeThroughputEPS: res.Throughput().PerSecond(),
+		Pred:               pred,
+	}, nil
+}

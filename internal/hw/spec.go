@@ -125,6 +125,57 @@ func TableIII() MachineSpec {
 // TotalCores returns the machine's core count.
 func (s MachineSpec) TotalCores() int { return s.Sockets * s.CoresPerSocket }
 
+// Variant returns a named machine-spec variant. The empty name is the
+// Table III baseline; the others reshape it along one axis at a time so
+// sweeps can attribute differences to a single hardware parameter. Core
+// count, aggregate LLC, and aggregate DRAM bandwidth are conserved where
+// the shape allows it (a socket carries its proportional share), so
+// "2x16" vs "8x4" isolates NUMA topology rather than total capacity.
+// The bool reports whether the name is known.
+func Variant(name string) (MachineSpec, bool) {
+	s := TableIII()
+	switch name {
+	case "":
+		// Table III as-is.
+	case "2x16":
+		// Two fat sockets: same 32 cores, LLC and DRAM channels
+		// consolidated pairwise, half as many QPI crossings possible.
+		s.Sockets, s.CoresPerSocket = 2, 16
+		s.LLC.CapacityBytes *= 2
+		s.LocalBWBytesPerCycle *= 2
+	case "8x4":
+		// Eight thin sockets: same 32 cores spread over twice the NUMA
+		// domains, each with half the cache and memory bandwidth.
+		s.Sockets, s.CoresPerSocket = 8, 4
+		s.LLC.CapacityBytes /= 2
+		s.LocalBWBytesPerCycle /= 2
+	case "turbo":
+		// Same machine at 3.2 GHz: absolute DRAM/QPI bandwidth is
+		// unchanged, so the per-cycle figures shrink and memory-bound
+		// workloads gain nothing.
+		s.ClockHz = 3_200_000_000
+		s.LocalBWBytesPerCycle = 51.2e9 / 3.2e9
+		s.QPIBWBytesPerCycle = 8.0e9 / 3.2e9
+	case "slowmem":
+		// Higher-latency, lower-bandwidth DRAM (cheap DIMM population).
+		s.Latency.LocalDRAM = 280
+		s.Latency.RemoteDRAM = 480
+		s.LocalBWBytesPerCycle *= 0.75
+	case "fatlink":
+		// Doubled interconnect bandwidth per link direction.
+		s.QPIBWBytesPerCycle *= 2
+	default:
+		return MachineSpec{}, false
+	}
+	return s, true
+}
+
+// VariantNames lists the spec-variant names Variant accepts, baseline
+// first, in the fixed order sweeps iterate them.
+func VariantNames() []string {
+	return []string{"", "2x16", "8x4", "turbo", "slowmem", "fatlink"}
+}
+
 // WithHugePages returns the spec with 2 MB pages.
 func (s MachineSpec) WithHugePages() MachineSpec {
 	s.PageBytes = 2 << 20

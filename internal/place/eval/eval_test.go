@@ -1,0 +1,194 @@
+package eval_test
+
+import (
+	"math"
+	"testing"
+
+	"streamscale/internal/engine"
+	"streamscale/internal/hw"
+	"streamscale/internal/place/eval"
+)
+
+type lineSource struct{ n, i int }
+
+func (s *lineSource) Prepare(engine.Context) {}
+func (s *lineSource) Next(ctx engine.Context) bool {
+	if s.i >= s.n {
+		return false
+	}
+	s.i++
+	ctx.Emit("the quick brown fox")
+	return true
+}
+
+type splitOp struct{}
+
+func (splitOp) Prepare(engine.Context) {}
+func (splitOp) Process(ctx engine.Context, tu engine.Tuple) {
+	ctx.Work(40, 4)
+	for _, w := range []string{"the", "quick", "brown", "fox"} {
+		ctx.Emit(w, int64(1))
+	}
+	_ = tu
+}
+
+type countOp struct{ seen int64 }
+
+func (c *countOp) Prepare(engine.Context) {}
+func (c *countOp) Process(ctx engine.Context, tu engine.Tuple) {
+	c.seen++
+	ctx.Work(25, 2)
+}
+
+// estimator calibrates one fast-tier estimator from an unplaced
+// full-machine probe of a small word-count topology.
+func estimator(t *testing.T) *eval.Estimator {
+	t.Helper()
+	sys := engine.Storm()
+	topo := engine.NewTopology("wc-probe")
+	topo.AddSource("src", 2, func() engine.Source { return &lineSource{n: 60} },
+		engine.Stream(engine.DefaultStream, "line"))
+	topo.AddOp("split", 2, func() engine.Operator { return &splitOp{} },
+		engine.Stream(engine.DefaultStream, "word", "n")).
+		SubDefault("src", engine.Shuffle())
+	topo.AddOp("count", 2, func() engine.Operator { return &countOp{} }).
+		SubDefault("split", engine.Fields("word"))
+	res, err := engine.RunSim(topo, engine.SimConfig{System: sys, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := eval.New(res, hw.TableIII(), sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEstimateAtProbePoint pins the calibration anchor: estimating the
+// probe's own configuration reproduces the probe's score exactly, so the
+// latency scale factor is 1 and the only uncertainty is the modeled OS
+// spread of unpinned executors.
+func TestEstimateAtProbePoint(t *testing.T) {
+	e := estimator(t)
+	p, err := e.Estimate(eval.Target{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ThroughputEPS <= 0 || p.LatencyMs <= 0 || p.BottleneckCycles <= 0 {
+		t.Fatalf("probe-point estimate not positive: %+v", p)
+	}
+	if p.Uncertainty != 0.05 {
+		t.Errorf("probe-point uncertainty = %v, want 0.05 (OS spread only)", p.Uncertainty)
+	}
+	// Same target twice: estimates are pure functions of the probe.
+	q, err := e.Estimate(eval.Target{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != q {
+		t.Errorf("estimate not deterministic: %+v vs %+v", p, q)
+	}
+}
+
+// TestEstimateBatching pins the analytical batch adjustment: batching
+// amortizes framework overhead so predicted throughput never drops below
+// the probe point, latency grows with the accumulation delay, and
+// uncertainty grows with analytical distance (one unit per doubling).
+func TestEstimateBatching(t *testing.T) {
+	e := estimator(t)
+	base, err := e.Estimate(eval.Target{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevUnc := base.Uncertainty
+	for _, b := range []int{2, 4, 16} {
+		p, err := e.Estimate(eval.Target{Batch: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ThroughputEPS < base.ThroughputEPS {
+			t.Errorf("batch %d predicted %v eps < unbatched %v", b, p.ThroughputEPS, base.ThroughputEPS)
+		}
+		if p.LatencyMs <= 0 {
+			t.Errorf("batch %d latency %v", b, p.LatencyMs)
+		}
+		if p.Uncertainty <= prevUnc {
+			t.Errorf("batch %d uncertainty %v did not grow past %v", b, p.Uncertainty, prevUnc)
+		}
+		prevUnc = p.Uncertainty
+	}
+}
+
+// TestEstimateUncertaintyOrdering pins the screening priority: a spec
+// retarget is a bigger analytical leap than a machine-slice change, which
+// in turn exceeds the probe point.
+func TestEstimateUncertaintyOrdering(t *testing.T) {
+	e := estimator(t)
+	probe, err := e.Estimate(eval.Target{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice, err := e.Estimate(eval.Target{Sockets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, ok := hw.Variant("slowmem")
+	if !ok {
+		t.Fatal("slowmem variant missing")
+	}
+	retarget, err := e.Estimate(eval.Target{Spec: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(retarget.Uncertainty > slice.Uncertainty) {
+		t.Errorf("retarget unc %v not above slice unc %v", retarget.Uncertainty, slice.Uncertainty)
+	}
+	// The 1-socket slice swaps the probe point's OS-spread term (executors
+	// pinned by the single covered socket) for the slice-change term, so it
+	// stays nonzero but need not exceed the probe point.
+	if slice.Uncertainty <= 0 || slice.Uncertainty < probe.Uncertainty {
+		t.Errorf("slice unc %v, probe-point unc %v", slice.Uncertainty, probe.Uncertainty)
+	}
+	// No throughput ordering is asserted between the two slices: packing
+	// onto one socket trades cross-socket penalties for fewer cores, and
+	// either side can win depending on the workload — that trade-off is
+	// exactly what the tier exists to screen.
+}
+
+// TestEstimateErrors pins the two rejection paths: an assignment of the
+// wrong length, and an assignment that lands on a disabled socket.
+func TestEstimateErrors(t *testing.T) {
+	e := estimator(t)
+	if _, err := e.Estimate(eval.Target{Assign: []int{0}}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	bad := make([]int, e.N())
+	bad[0] = 1 // socket 1 with a 1-socket slice
+	if _, err := e.Estimate(eval.Target{Sockets: 1, Assign: bad}); err == nil {
+		t.Error("disabled-socket assignment accepted")
+	}
+}
+
+// TestEstimateOversubscribed pins that restricting the slice below the
+// executor count adds the oversubscription term and keeps the prediction
+// finite and positive.
+func TestEstimateOversubscribed(t *testing.T) {
+	e := estimator(t)
+	p, err := e.Estimate(eval.Target{Sockets: 1, Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ThroughputEPS <= 0 || math.IsInf(p.BottleneckCycles, 1) {
+		t.Fatalf("oversubscribed slice estimate %+v", p)
+	}
+	single, err := e.Estimate(eval.Target{Sockets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p.Uncertainty > single.Uncertainty) {
+		t.Errorf("oversubscribed unc %v not above single-socket unc %v", p.Uncertainty, single.Uncertainty)
+	}
+	if p.ThroughputEPS > single.ThroughputEPS {
+		t.Errorf("2-core slice predicted %v eps above 8-core %v", p.ThroughputEPS, single.ThroughputEPS)
+	}
+}

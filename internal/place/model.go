@@ -16,6 +16,7 @@ package place
 
 import (
 	"fmt"
+	"math"
 
 	"streamscale/internal/engine"
 	"streamscale/internal/hw"
@@ -44,6 +45,17 @@ type Model struct {
 	LocalBW       float64
 	QPIBW         float64
 	RemotePenalty float64
+	// CrossMsgCycles is an optional consumer-side fixed cost per CROSSING
+	// message (the queue-slot and header line transfers a crossing
+	// delivery pays regardless of payload size — what makes small control
+	// messages like acks expensive across sockets). Calibrate leaves it
+	// zero, so the placement search's ranking (and the default report) is
+	// unchanged; the fast-evaluation tier sets it to two remote DRAM
+	// latencies (queue slot line + index line each round-trip), where
+	// per-byte pricing alone underprices ack-heavy cross-socket traffic.
+	// WithBatch scales it with 1/S (batching coalesces messages);
+	// Retarget re-prices it by the remote-latency ratio.
+	CrossMsgCycles float64
 
 	// Compute is each executor's local-equivalent cycle demand: its probe
 	// cost total with remote LLC-miss stalls re-priced at local latency.
@@ -67,6 +79,12 @@ type Model struct {
 	// interferenceCycles is the per-invocation scheduling delay an
 	// executor suffers when its socket runs more executors than cores.
 	interferenceCycles float64
+	// lineBytes, localLat, and cyclesPerUop record the calibration spec's
+	// scalars so Retarget can re-price the model onto a different machine
+	// without a second probe.
+	lineBytes    float64
+	localLat     float64
+	cyclesPerUop float64
 }
 
 // oversubInterferenceCycles is the modeled per-invocation cost of running
@@ -129,6 +147,9 @@ func Calibrate(res *engine.Result, spec hw.MachineSpec, sys engine.SystemProfile
 		invokeCycles:       float64(sys.UopsPerInvoke) * spec.CyclesPerUop,
 		deliveryCycles:     float64(sys.DeliveryUops) * spec.CyclesPerUop,
 		interferenceCycles: oversubInterferenceCycles,
+		lineBytes:          line,
+		localLat:           local,
+		cyclesPerUop:       spec.CyclesPerUop,
 	}
 	for i := range res.Executors {
 		e := &res.Executors[i]
@@ -184,6 +205,62 @@ func (m *Model) WithBatch(batch int) *Model {
 		}
 		out.Compute[i] = c - saved
 	}
+	// Batching coalesces deliveries, so the probe's per-message crossing
+	// cost amortizes the same way the delivery overhead does.
+	out.CrossMsgCycles = m.CrossMsgCycles * float64(m.Batch) / float64(batch)
+	return &out
+}
+
+// Retarget returns a model re-priced for a different machine spec without
+// a second probe. Per-executor µop work is clock-rate invariant (cycles
+// per µop comes from the spec), so only the memory-stall component moves:
+// each DRAM line the probe observed is re-priced at the new local latency,
+// and the framework per-invocation/per-message costs rescale with the new
+// retirement rate. Bandwidths, socket shape, and the remote penalty come
+// from the new spec. The probe's traffic volumes (lines, edge bytes,
+// invocation counts) are workload properties and carry over unchanged;
+// capacity effects the probe never observed (a smaller LLC missing more)
+// are NOT modeled, which is why retargeted estimates carry extra
+// uncertainty in the fast tier.
+func (m *Model) Retarget(spec hw.MachineSpec) *Model {
+	local := float64(spec.Latency.LocalDRAM)
+	remote := float64(spec.Latency.RemoteDRAM)
+	line := float64(spec.LLC.BlockBytes)
+	out := *m
+	out.Sockets = spec.Sockets
+	out.CoresPerSocket = spec.CoresPerSocket
+	out.ClockHz = spec.ClockHz
+	out.LocalBW = spec.LocalBWBytesPerCycle
+	out.QPIBW = spec.QPIBWBytesPerCycle
+	out.RemotePenalty = (remote - local) / line
+	if oldRemote := m.localLat + m.RemotePenalty*m.lineBytes; m.CrossMsgCycles != 0 && oldRemote > 0 {
+		out.CrossMsgCycles = m.CrossMsgCycles * remote / oldRemote
+	}
+	if m.cyclesPerUop > 0 {
+		r := spec.CyclesPerUop / m.cyclesPerUop
+		out.invokeCycles = m.invokeCycles * r
+		out.deliveryCycles = m.deliveryCycles * r
+	}
+	out.Compute = make([]float64, m.N())
+	out.MemBytes = make([]float64, m.N())
+	dLat := local - m.localLat
+	for i := range m.Compute {
+		var lines float64
+		if m.lineBytes > 0 {
+			lines = m.MemBytes[i] / m.lineBytes
+		}
+		c := m.Compute[i] + lines*dLat
+		// A latency drop can never erase an executor's non-memory work:
+		// keep at least the compute that was not stall-priced.
+		if floor := 0.1 * m.Compute[i]; c < floor {
+			c = floor
+		}
+		out.Compute[i] = c
+		out.MemBytes[i] = lines * line
+	}
+	out.lineBytes = line
+	out.localLat = local
+	out.cyclesPerUop = spec.CyclesPerUop
 	return &out
 }
 
@@ -207,7 +284,7 @@ func (m *Model) Bottleneck(assign []int) float64 {
 	qpi := make([]float64, m.Sockets*m.Sockets)
 	for _, e := range m.Edges {
 		if assign[e.From] != assign[e.To] {
-			perExec[e.To] += m.RemotePenalty * e.Bytes
+			perExec[e.To] += m.RemotePenalty*e.Bytes + m.CrossMsgCycles*e.Msgs
 			qpi[assign[e.From]*m.Sockets+assign[e.To]] += e.Bytes
 		}
 	}
@@ -250,6 +327,91 @@ func (m *Model) interference(i int) float64 {
 		return lim
 	}
 	return d
+}
+
+// BottleneckOn is Bottleneck generalized to a machine slice: the first
+// `sockets` sockets are enabled (0 or out of range = all), and a nonzero
+// `cores` further restricts the slice to the machine's first n cores, so
+// the last covered socket may run only a few (exactly the simulator's
+// SimConfig.Sockets/Cores semantics). Per-socket compute spreads over that
+// socket's enabled cores only, and the oversubscription interference term
+// triggers against the same reduced count; DRAM bandwidth is per socket
+// and does not shrink with disabled cores. An executor assigned to a
+// socket with no enabled cores is infeasible and scores +Inf.
+// BottleneckOn(a, 0, 0) equals Bottleneck(a) (pinned by test).
+func (m *Model) BottleneckOn(assign []int, sockets, cores int) float64 {
+	n := m.N()
+	if len(assign) != n {
+		panic(fmt.Sprintf("place: assignment length %d != %d executors", len(assign), n))
+	}
+	if sockets <= 0 || sockets > m.Sockets {
+		sockets = m.Sockets
+	}
+	enabled := sockets * m.CoresPerSocket
+	if cores > 0 && cores < enabled {
+		enabled = cores
+	}
+	coresOn := func(s int) int {
+		c := enabled - s*m.CoresPerSocket
+		if c > m.CoresPerSocket {
+			c = m.CoresPerSocket
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	perExec := make([]float64, n)
+	copy(perExec, m.Compute)
+	sockCompute := make([]float64, m.Sockets)
+	sockMem := make([]float64, m.Sockets)
+	sockCount := make([]int, m.Sockets)
+	qpi := make([]float64, m.Sockets*m.Sockets)
+	for _, s := range assign {
+		if s < 0 || s >= m.Sockets || coresOn(s) == 0 {
+			return math.Inf(1)
+		}
+	}
+	for _, e := range m.Edges {
+		if assign[e.From] != assign[e.To] {
+			perExec[e.To] += m.RemotePenalty*e.Bytes + m.CrossMsgCycles*e.Msgs
+			qpi[assign[e.From]*m.Sockets+assign[e.To]] += e.Bytes
+		}
+	}
+	for i, s := range assign {
+		sockCompute[s] += perExec[i]
+		sockMem[s] += m.MemBytes[i]
+		sockCount[s]++
+	}
+	for i, s := range assign {
+		if sockCount[s] > coresOn(s) {
+			perExec[i] += m.interference(i)
+		}
+	}
+	var b float64
+	for _, c := range perExec {
+		b = maxf(b, c)
+	}
+	for s := 0; s < m.Sockets; s++ {
+		if c := coresOn(s); c > 0 {
+			b = maxf(b, sockCompute[s]/float64(c))
+		}
+		b = maxf(b, sockMem[s]/m.LocalBW)
+	}
+	for _, bytes := range qpi {
+		b = maxf(b, bytes/m.QPIBW)
+	}
+	return b
+}
+
+// PredictThroughputOn converts a slice-aware predicted bottleneck to
+// events per second.
+func (m *Model) PredictThroughputOn(assign []int, sockets, cores int) float64 {
+	b := m.BottleneckOn(assign, sockets, cores)
+	if b <= 0 || math.IsInf(b, 1) {
+		return 0
+	}
+	return float64(m.SourceEvents) * float64(m.ClockHz) / b
 }
 
 // PredictThroughput converts a predicted bottleneck to events per second.
