@@ -18,8 +18,9 @@ import (
 
 	"streamscale/internal/apps"
 	"streamscale/internal/bench"
-	"streamscale/internal/core"
+
 	"streamscale/internal/engine"
+	"streamscale/internal/place"
 	"streamscale/internal/sim"
 	"streamscale/internal/trace"
 )
@@ -36,7 +37,8 @@ func main() {
 		events   = flag.Int("events", 0, "source events (0 = app default)")
 		scale    = flag.Int("scale", 1, "parallelism scale factor")
 		seed     = flag.Int64("seed", 1, "random seed")
-		place    = flag.Bool("place", false, "apply NUMA-aware executor placement (best plan by Eq. 1 cost)")
+		placeOpt = flag.Bool("place", false, "apply NUMA-aware executor placement (best plan by Eq. 1 cost)")
+		joint    = flag.Bool("joint", false, "joint parallelism + placement optimization (RLAS): co-search executor counts with socket assignment and run the measured winner (4 sockets only)")
 		profile  = flag.Bool("profile", true, "print the Table II processor-time breakdown")
 		native   = flag.Bool("native", false, "run on the native goroutine runtime (real wall-clock, no processor model)")
 		chain    = flag.Bool("chain", false, "with -native: apply operator chaining before running")
@@ -88,7 +90,24 @@ func main() {
 			cell.EventScale = float64(*events) / float64(def)
 		}
 	}
-	if *place {
+	if *joint {
+		if *sockets != 4 {
+			fail(fmt.Errorf("-joint plans on the calibrated 4-socket machine; run with -sockets 4"))
+		}
+		if *placeOpt {
+			fail(fmt.Errorf("-joint subsumes -place (the fixed-parallelism winner is its fallback)"))
+		}
+		js, err := bench.SearchJoint(*app, *system, *batch, *scale)
+		fail(err)
+		cell.Placement = js.Winner.Placement
+		if len(js.Winner.Override) > 0 {
+			cell.ParallelismOverride = js.Winner.Override
+		}
+		fmt.Printf("joint: %d vector(s) screened, %d searched, %d verified; winner %s (%+.1f%% vs placement-only)\n",
+			js.VectorsScreened, js.VectorsSearched, len(js.Verified), js.ParString(),
+			(js.Throughput/js.FixedThroughput-1)*100)
+	}
+	if *placeOpt {
 		if *sockets == 4 {
 			// Model-guided search (internal/place): calibrate from a probe,
 			// rank assignments by predicted bottleneck, verify the top few.
@@ -104,7 +123,7 @@ func main() {
 			if *system == "flink" {
 				sys = engine.Flink()
 			}
-			plans, err := core.PlanFor(topo, sys, *sockets, core.PlaceOptions{
+			plans, err := place.PlanFor(topo, sys, *sockets, place.PlaceOptions{
 				CoresPerSocket: 8, Oversubscribe: 1.5, Balanced: true,
 			})
 			fail(err)
@@ -199,8 +218,9 @@ type benchRecord struct {
 	// single-cell dspbench run Memo says whether the result was simulated
 	// fresh (simulated=1) or served from cache; under -place or future
 	// multi-cell flows the counts cover every cell the process touched.
-	Memo benchMemoStats `json:"memo"`
-	Tier benchTierStats `json:"tier"`
+	Memo  benchMemoStats  `json:"memo"`
+	Tier  benchTierStats  `json:"tier"`
+	Joint benchJointStats `json:"joint"`
 }
 
 // benchMemoStats mirrors memo.Stats with trajectory-record field names:
@@ -221,9 +241,18 @@ type benchTierStats struct {
 	Probes   int64 `json:"probes"`
 }
 
+// benchJointStats counts joint-search activity: parallelism vectors
+// screened analytically and joint configurations verified by full
+// simulation. All zero unless a joint search ran in this process.
+type benchJointStats struct {
+	Screened int64 `json:"configs_screened"`
+	Verified int64 `json:"configs_verified"`
+}
+
 func writeBenchJSON(cell bench.Cell, res *engine.Result) (string, error) {
 	st := bench.MemoStats()
 	screened, verified, probes := bench.TierStats()
+	jointScreened, jointVerified := bench.JointStats()
 	rec := benchRecord{
 		Schema:        "dspbench/v2",
 		CellKey:       bench.CellKey(cell),
@@ -243,6 +272,7 @@ func writeBenchJSON(cell bench.Cell, res *engine.Result) (string, error) {
 		ChargedCycles: int64(res.ChargedCycles),
 		Memo:          benchMemoStats{Simulated: st.Runs, Deduped: st.MemHits, FromDisk: st.DiskHits},
 		Tier:          benchTierStats{Screened: screened, Verified: verified, Probes: probes},
+		Joint:         benchJointStats{Screened: jointScreened, Verified: jointVerified},
 	}
 	name := fmt.Sprintf("BENCH_%s_%s.json", cell.App, cell.System)
 	data, err := json.MarshalIndent(rec, "", "  ")

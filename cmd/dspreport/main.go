@@ -154,6 +154,19 @@ func baseExperiments() []experiment {
 			return bench.Fig14Table(rows) + "\n" + bench.Fig15Table(rows) +
 				"\n" + bench.ModelValidationTable(val), nil
 		}},
+		{id: "joint", desc: "joint parallelism + placement (RLAS) vs placement-only", run: func() (string, error) {
+			rows, err := bench.JointStudy()
+			if err != nil {
+				return "", err
+			}
+			shift, err := bench.JointShift()
+			if err != nil {
+				return "", err
+			}
+			return bench.JointTable(rows) + "\n" + bench.JointShiftTable(shift), nil
+		}},
+		{id: "joint-smoke", desc: "joint-search CI gate: exhaustive candidate simulation and rank-tau (runs only when selected)",
+			run: bench.JointSmoke, explicitOnly: true},
 		{id: "gc", desc: "G1 vs parallelGC overhead (§V-D)", run: func() (string, error) {
 			rows, err := bench.GCStudy(apps.BenchmarkNames())
 			if err != nil {
@@ -395,6 +408,10 @@ func main() {
 			sc, ver, pr := bench.TierStats()
 			fmt.Fprintf(os.Stderr, "dspreport: tier: %d cells screened, %d verified by simulation, %d probe request(s)\n",
 				sc, ver, pr)
+		}
+		if jsc, jver := bench.JointStats(); jsc > 0 || jver > 0 {
+			fmt.Fprintf(os.Stderr, "dspreport: joint: %d parallelism vector(s) screened, %d configuration(s) verified by simulation\n",
+				jsc, jver)
 		}
 	}
 }

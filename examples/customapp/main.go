@@ -13,8 +13,8 @@ package main
 import (
 	"fmt"
 
-	"streamscale/internal/core"
 	"streamscale/internal/engine"
+	"streamscale/internal/place"
 )
 
 // clickSource synthesizes click events (user, page, ts).
@@ -149,7 +149,7 @@ func main() {
 	})
 
 	// 3. NUMA-aware placement from the communication graph.
-	plans, err := core.PlanFor(buildApp(5000), engine.Storm(), 4, core.PlaceOptions{
+	plans, err := place.PlanFor(buildApp(5000), engine.Storm(), 4, place.PlaceOptions{
 		CoresPerSocket: 8, Oversubscribe: 1.5, Balanced: true,
 	})
 	if err != nil {

@@ -11,8 +11,9 @@ import (
 	"fmt"
 
 	"streamscale/internal/apps"
-	"streamscale/internal/core"
+
 	"streamscale/internal/engine"
+	"streamscale/internal/place"
 )
 
 func run(label string, cfg engine.SimConfig) *engine.Result {
@@ -47,7 +48,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	plans, err := core.PlanFor(topo, engine.Storm(), 4, core.PlaceOptions{
+	plans, err := place.PlanFor(topo, engine.Storm(), 4, place.PlaceOptions{
 		CoresPerSocket: 8, Oversubscribe: 1.5, Balanced: true,
 	})
 	if err != nil {

@@ -9,8 +9,8 @@ package main
 import (
 	"fmt"
 
-	"streamscale/internal/core"
 	"streamscale/internal/engine"
+	"streamscale/internal/place"
 )
 
 // tick emits monotonically increasing integers.
@@ -69,7 +69,7 @@ func buildPipeline() *engine.Topology {
 func main() {
 	sys := engine.Flink()
 
-	g, err := core.BuildCommGraph(buildPipeline(), sys)
+	g, err := place.BuildCommGraph(buildPipeline(), sys)
 	if err != nil {
 		panic(err)
 	}
@@ -97,9 +97,9 @@ func main() {
 	}
 
 	base := measure("os-spread", nil)
-	rr := core.RoundRobinPlan(g, 4)
+	rr := place.RoundRobinPlan(g, 4)
 	measure("round-robin", rr.Placement())
-	plans, err := core.Plans(g, 4, core.PlaceOptions{CoresPerSocket: 8, Oversubscribe: 1.5, Balanced: true})
+	plans, err := place.Plans(g, 4, place.PlaceOptions{CoresPerSocket: 8, Oversubscribe: 1.5, Balanced: true})
 	if err != nil {
 		panic(err)
 	}

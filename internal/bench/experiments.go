@@ -6,10 +6,11 @@ import (
 	"strings"
 
 	"streamscale/internal/apps"
-	"streamscale/internal/core"
+
 	"streamscale/internal/engine"
 	"streamscale/internal/hw"
 	"streamscale/internal/jvm"
+	"streamscale/internal/place"
 	"streamscale/internal/profiler"
 )
 
@@ -415,7 +416,7 @@ type BatchingRow struct {
 
 // Batching runs the Fig 12/13 sweep on a single socket.
 func Batching() ([]BatchingRow, error) {
-	sizes := append([]int{1}, core.BatchSizes...)
+	sizes := append([]int{1}, place.BatchSizes...)
 	var cells []Cell
 	for _, app := range apps.BenchmarkNames() {
 		for _, sys := range Systems {
@@ -509,7 +510,7 @@ type PlacementRow struct {
 
 // Placement runs the Fig 14 and Fig 15 studies: single socket, four
 // sockets unoptimized, four sockets with NUMA-aware placement, and four
-// sockets with placement plus batching (S = core.DefaultBatchSize).
+// sockets with placement plus batching (S = place.DefaultBatchSize).
 // Placement plans come from the model-guided search (placement.go); the
 // second return value carries its predicted-vs-simulated validation rows.
 func Placement() ([]PlacementRow, []ModelValidationRow, error) {
@@ -540,7 +541,7 @@ func Placement() ([]PlacementRow, []ModelValidationRow, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("%s/%s placement: %w", app, sys, err)
 			}
-			comb, err := SearchPlacement(app, sys, core.DefaultBatchSize, 4)
+			comb, err := SearchPlacement(app, sys, place.DefaultBatchSize, 4)
 			if err != nil {
 				return nil, nil, fmt.Errorf("%s/%s combined: %w", app, sys, err)
 			}
@@ -580,7 +581,7 @@ func Fig14Table(rows []PlacementRow) string {
 // Fig15Table renders the combined-optimizations comparison.
 func Fig15Table(rows []PlacementRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Fig 15 — both optimizations (batching S=%d + placement), normalized to 4 sockets w/o optimizations\n", core.DefaultBatchSize)
+	fmt.Fprintf(&b, "Fig 15 — both optimizations (batching S=%d + placement), normalized to 4 sockets w/o optimizations\n", place.DefaultBatchSize)
 	fmt.Fprintf(&b, "%-6s %-6s %10s %10s %12s\n", "sys", "app", "1 socket", "4 sockets", "4s+both")
 	for _, sys := range Systems {
 		for _, r := range rows {
@@ -734,11 +735,11 @@ func PlacementAblation(appNames []string) ([]PlacementAblationRow, error) {
 				return nil, err
 			}
 			sp, _ := systemProfile(sys)
-			g, err := core.BuildCommGraph(topo, sp)
+			g, err := place.BuildCommGraph(topo, sp)
 			if err != nil {
 				return nil, err
 			}
-			rr := core.RoundRobinPlan(g, 4)
+			rr := place.RoundRobinPlan(g, 4)
 			cells = append(cells,
 				Cell{App: app, System: sys, Sockets: 4, Scale: 4},
 				Cell{App: app, System: sys, Sockets: 4, Scale: 4, Placement: rr.Placement()})

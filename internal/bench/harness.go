@@ -125,6 +125,12 @@ func (c Cell) Topology() (*engine.Topology, error) {
 		if n == nil {
 			return nil, fmt.Errorf("bench: override for unknown operator %q in %s", op, c.App)
 		}
+		// Clamp mirrors the topology builder's own invariant (engine panics
+		// on non-positive parallelism at construction); Canonical applies the
+		// same clamp so the memo key and the runtime agree.
+		if p < 1 {
+			p = 1
+		}
 		n.Parallelism = p
 	}
 	if c.Chaining {

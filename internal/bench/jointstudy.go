@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"streamscale/internal/apps"
+	"streamscale/internal/hw"
+	"streamscale/internal/place"
+)
+
+// --- Joint optimization study: RLAS vs placement-only ---------------------
+
+// JointRow compares the joint parallelism + placement winner against the
+// placement-only winner for one (app, system, batch) row.
+type JointRow struct {
+	App, System string
+	Batch       int
+	// Fixed and Joint are measured throughputs (events/s); Joint equals
+	// Fixed when no rescaled configuration measured strictly better.
+	Fixed float64
+	Joint float64
+	// Gain is Joint/Fixed - 1.
+	Gain float64
+	// Par describes the winning parallelism ("default" or op=k pairs).
+	Par string
+	// Screened and Searched are the joint search's vector counters.
+	Screened, Searched int
+}
+
+// JointStudy runs the joint search on every (app, system) row at the
+// default batch size — the combined operating point where both the paper's
+// optimizations are on and the parallelism axis matters most. The
+// placement-only searches and probes are memo-shared with the Fig 14/15
+// study, so the incremental cost is the joint verification simulations.
+func JointStudy() ([]JointRow, error) {
+	var out []JointRow
+	for _, app := range apps.BenchmarkNames() {
+		for _, sys := range Systems {
+			for _, batch := range []int{place.DefaultBatchSize} {
+				js, err := SearchJoint(app, sys, batch, 4)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s joint (batch %d): %w", app, sys, batch, err)
+				}
+				out = append(out, JointRow{
+					App: app, System: sys, Batch: batch,
+					Fixed:    js.FixedThroughput,
+					Joint:    js.Throughput,
+					Gain:     js.Throughput/js.FixedThroughput - 1,
+					Par:      js.ParString(),
+					Screened: js.VectorsScreened, Searched: js.VectorsSearched,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// JointTable renders the joint-vs-fixed comparison.
+func JointTable(rows []JointRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Joint parallelism + placement (RLAS) vs placement-only search (4 sockets)\n")
+	fmt.Fprintf(&b, "%-6s %-6s %5s %12s %12s %7s %9s  %s\n",
+		"sys", "app", "batch", "fixed(ev/s)", "joint(ev/s)", "gain", "screened", "winner")
+	for _, sys := range Systems {
+		for _, r := range rows {
+			if r.System != sys {
+				continue
+			}
+			fmt.Fprintf(&b, "%-6s %-6s %5d %12.0f %12.0f %+6.1f%% %9d  %s\n",
+				r.System, r.App, r.Batch, r.Fixed, r.Joint, r.Gain*100, r.Screened, r.Par)
+		}
+	}
+	return b.String()
+}
+
+// --- Joint optimum across machine shapes (predicted) ----------------------
+
+// JointShiftRow tracks how the predicted joint optimum moves across
+// machine-spec variants for one (app, system) row: per variant, the
+// winning configuration's total executor count and distinct socket count.
+type JointShiftRow struct {
+	App, System string
+	// Execs and K are indexed by hw.VariantNames() order.
+	Execs []int
+	K     []int
+	// Shifts counts variants whose winning parallelism vector differs from
+	// the Table III baseline's.
+	Shifts int
+}
+
+// jointShiftOptions are deliberately smaller than the verification
+// search's: this sweep is analytic-only (nothing is simulated), runs
+// 6 variants x 14 rows, and only the winner is reported.
+func jointShiftOptions(workers int) place.JointOptions {
+	return place.JointOptions{
+		TopM: 1, TopVectors: 4,
+		Search: place.SearchOptions{TopM: 2, NodeBudget: 4000, SplitDepth: 2, Workers: workers},
+	}
+}
+
+// JointShift recalibrates each row's probe model onto every machine-spec
+// variant (place.Model.Retarget — no new simulations) and re-runs the
+// joint search, showing where the parallelism/placement optimum moves when
+// the machine shape changes.
+func JointShift() ([]JointShiftRow, error) {
+	variants := hw.VariantNames()
+	var out []JointShiftRow
+	for _, app := range apps.BenchmarkNames() {
+		for _, sys := range Systems {
+			topo, err := Cell{App: app, Seed: 1, Scale: 4}.Topology()
+			if err != nil {
+				return nil, err
+			}
+			prof, err := systemProfile(sys)
+			if err != nil {
+				return nil, err
+			}
+			probeRes, err := Run(Cell{App: app, System: sys, Sockets: 4, Scale: 4, BatchSize: 1})
+			if err != nil {
+				return nil, err
+			}
+			base, err := place.Calibrate(probeRes, hw.TableIII(), prof, 1)
+			if err != nil {
+				return nil, fmt.Errorf("calibrate %s/%s: %w", app, sys, err)
+			}
+			row := JointShiftRow{App: app, System: sys}
+			var basePar []int
+			for vi, variant := range variants {
+				spec, _ := hw.Variant(variant)
+				model := base
+				if vi > 0 {
+					model = base.Retarget(spec)
+				}
+				w, err := place.NewWorkload(model, topo, prof)
+				if err != nil {
+					return nil, err
+				}
+				res, err := w.SearchJoint(jointShiftOptions(Jobs()))
+				if err != nil {
+					return nil, fmt.Errorf("joint shift %s/%s/%s: %w", app, sys, variant, err)
+				}
+				jointScreened.Add(int64(res.VectorsScreened))
+				if len(res.Candidates) == 0 {
+					return nil, fmt.Errorf("joint shift %s/%s/%s: no candidates", app, sys, variant)
+				}
+				win := res.Candidates[0]
+				execs := 0
+				for _, p := range win.Par {
+					execs += p
+				}
+				row.Execs = append(row.Execs, execs)
+				row.K = append(row.K, distinctSockets(win.Assign))
+				if vi == 0 {
+					basePar = win.Par
+				} else if !intsEqual(win.Par, basePar) {
+					row.Shifts++
+				}
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// JointShiftTable renders the optimum-shift-across-specs comparison. Each
+// cell is execs@k: the predicted winner's total executor count and how
+// many sockets it spans.
+func JointShiftTable(rows []JointShiftRow) string {
+	variants := hw.VariantNames()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Joint optimum across machine shapes (predicted, batch 1) — winner total executors @ sockets used\n")
+	fmt.Fprintf(&b, "%-6s %-6s", "sys", "app")
+	for _, v := range variants {
+		name := v
+		if name == "" {
+			name = "base"
+		}
+		fmt.Fprintf(&b, " %8s", name)
+	}
+	fmt.Fprintf(&b, " %7s\n", "shifts")
+	for _, sys := range Systems {
+		for _, r := range rows {
+			if r.System != sys {
+				continue
+			}
+			fmt.Fprintf(&b, "%-6s %-6s", r.System, r.App)
+			for i := range variants {
+				fmt.Fprintf(&b, " %8s", fmt.Sprintf("%d@%d", r.Execs[i], r.K[i]))
+			}
+			fmt.Fprintf(&b, " %7d\n", r.Shifts)
+		}
+	}
+	return b.String()
+}

@@ -99,7 +99,14 @@ func (c Cell) Canonical() string {
 			if i > 0 {
 				sb.WriteByte(',')
 			}
-			fmt.Fprintf(&sb, "%q:%d", op, c.ParallelismOverride[op])
+			// Clamp mirrors Cell.Topology: a non-positive override runs as
+			// parallelism 1, so it must key identically (joint-search
+			// verification cells pre-apply their clamps the same way).
+			p := c.ParallelismOverride[op]
+			if p < 1 {
+				p = 1
+			}
+			fmt.Fprintf(&sb, "%q:%d", op, p)
 		}
 	}
 	return sb.String()

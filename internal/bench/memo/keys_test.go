@@ -49,6 +49,12 @@ func TestCanonicalSingleFieldDifferences(t *testing.T) {
 		{"paroverride", func(c *bench.Cell) { c.ParallelismOverride = map[string]int{"split": 2} }},
 		{"paroverride-value", func(c *bench.Cell) { c.ParallelismOverride = map[string]int{"split": 3} }},
 		{"paroverride-key", func(c *bench.Cell) { c.ParallelismOverride = map[string]int{"count": 2} }},
+		// A joint-search verification cell (override + placement) must never
+		// collide with the fixed-parallelism cell that shares its placement.
+		{"paroverride-with-placement", func(c *bench.Cell) {
+			c.Placement = map[int]int{0: 1}
+			c.ParallelismOverride = map[string]int{"split": 2}
+		}},
 	}
 
 	seen := map[string]string{base().Canonical(): "base"}
@@ -115,6 +121,10 @@ func TestCanonicalRuntimeClamps(t *testing.T) {
 		{"gc zero == G1", func(c *bench.Cell) { c.GC = jvm.Config{} }, func(c *bench.Cell) { c.GC = jvm.G1() }},
 		{"gc young clamp", func(c *bench.Cell) { c.GC = bigYoungA }, func(c *bench.Cell) { c.GC = bigYoungB }},
 		{"nil placement == empty", func(c *bench.Cell) { c.Placement = nil }, func(c *bench.Cell) { c.Placement = map[int]int{} }},
+		{"paroverride 0 == 1", func(c *bench.Cell) { c.ParallelismOverride = map[string]int{"split": 0} },
+			func(c *bench.Cell) { c.ParallelismOverride = map[string]int{"split": 1} }},
+		{"paroverride -3 == 1", func(c *bench.Cell) { c.ParallelismOverride = map[string]int{"split": -3} },
+			func(c *bench.Cell) { c.ParallelismOverride = map[string]int{"split": 1} }},
 	}
 	for _, p := range pairs {
 		ca, cb := base(), base()

@@ -6,7 +6,7 @@ import (
 	"strings"
 
 	"streamscale/internal/apps"
-	"streamscale/internal/core"
+
 	"streamscale/internal/hw"
 	"streamscale/internal/place"
 )
@@ -105,7 +105,7 @@ func SearchPlacement(app, system string, batch, scale int) (*PlacementSearch, er
 	var seeds [][]int
 	seenSeed := make(map[string]bool)
 	for _, balanced := range []bool{true, false} {
-		ps, err := core.PlanFor(topo, sys, 4, core.PlaceOptions{
+		ps, err := place.PlanFor(topo, sys, 4, place.PlaceOptions{
 			CoresPerSocket: 8, Oversubscribe: 1.5, Balanced: balanced,
 		})
 		if err != nil {

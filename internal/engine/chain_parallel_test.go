@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// identityWord re-emits each word unchanged — a fusable middle stage whose
+// only purpose is to give the chainer a shuffle-connected equal-parallelism
+// pair to work with.
+type identityWord struct{}
+
+func (identityWord) Prepare(Context) {}
+func (identityWord) Process(ctx Context, t Tuple) {
+	ctx.Emit(t.Values...)
+}
+
+// wcScaledTopology is the word-count pipeline with an explicit per-operator
+// parallelism vector (the shape Cell.ParallelismOverride produces) and a
+// chainable split->norm hop: norm runs at split's parallelism over a
+// shuffle subscription, so ChainTopology fuses exactly that pair.
+func wcScaledTopology(sentences, srcPar, splitPar, countPar int) *Topology {
+	t := NewTopology("wc-chain-par")
+	t.AddSource("source", srcPar, func() Source { return &testWordSource{n: sentences} },
+		Stream(DefaultStream, "sentence"))
+	t.AddOp("split", splitPar, func() Operator { return testSplit{} },
+		Stream(DefaultStream, "word")).
+		SubDefault("source", Shuffle())
+	t.AddOp("norm", splitPar, func() Operator { return identityWord{} },
+		Stream(DefaultStream, "word")).
+		SubDefault("split", Shuffle())
+	t.AddOp("count", countPar, func() Operator { return &testCount{} },
+		Stream(DefaultStream, "word", "count")).
+		SubDefault("norm", Fields("word"))
+	t.AddOp("sink", 1, func() Operator { return ProcessFunc(func(Context, Tuple) {}) }).
+		SubDefault("count", Global())
+	return t
+}
+
+// TestChainScaledPreservesCounts pins chaining x parallelism: fusing the
+// chainable pair of a topology running a non-default parallelism vector
+// must not change what flows. Per-operator input-tuple totals are
+// preserved (the fused node sees the head's inputs; downstream operators
+// see the same stream), sink totals match, and the XOR-ack ledger still
+// completes every source tuple tree — on both the simulator and the
+// native runtime.
+func TestChainScaledPreservesCounts(t *testing.T) {
+	const sentences = 60
+	vectors := [][3]int{
+		{2, 3, 2}, // seed default shape
+		{2, 4, 3}, // scaled: wider split/norm and count
+		{1, 6, 2}, // skewed: heavy fusable stage, single source
+	}
+	for _, sys := range []SystemProfile{Storm(), Flink()} {
+		for _, v := range vectors {
+			name := fmt.Sprintf("%s/src=%d,split=%d,count=%d", sys.Name, v[0], v[1], v[2])
+			t.Run(name, func(t *testing.T) {
+				chained, fused, err := ChainTopology(wcScaledTopology(sentences, v[0], v[1], v[2]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(fused) != 1 || fused[0] != "split->norm" {
+					t.Fatalf("fused pairs %v, want [split->norm]", fused)
+				}
+
+				plain, err := RunSim(wcScaledTopology(sentences, v[0], v[1], v[2]),
+					SimConfig{System: sys, Seed: 7, Sockets: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim, err := RunSim(chained, SimConfig{System: sys, Seed: 7, Sockets: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkChainedCounts(t, "sim", plain, sim, sys)
+
+				chained, _, err = ChainTopology(wcScaledTopology(sentences, v[0], v[1], v[2]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				nplain, err := RunNative(wcScaledTopology(sentences, v[0], v[1], v[2]),
+					NativeConfig{System: sys, Seed: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				nat, err := RunNative(chained, NativeConfig{System: sys, Seed: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkChainedCounts(t, "native", nplain, nat, sys)
+			})
+		}
+	}
+}
+
+// checkChainedCounts compares an unchained run against its chained
+// counterpart: identical source/sink totals, a complete ack ledger, the
+// fused node charged with the head's input tuples, and untouched inputs
+// everywhere else.
+func checkChainedCounts(t *testing.T, runtime string, plain, chained *Result, sys SystemProfile) {
+	t.Helper()
+	if plain.SourceEvents != chained.SourceEvents {
+		t.Errorf("%s: source events %d unchained, %d chained", runtime, plain.SourceEvents, chained.SourceEvents)
+	}
+	if plain.SinkEvents != chained.SinkEvents {
+		t.Errorf("%s: sink events %d unchained, %d chained", runtime, plain.SinkEvents, chained.SinkEvents)
+	}
+	if sys.AckEnabled {
+		// XOR-ack completeness: every source tuple tree must fully ack in
+		// BOTH shapes — fusing a hop removes an anchor link, and the ledger
+		// has to stay balanced without it.
+		if plain.AckerCompleted != plain.SourceEvents {
+			t.Errorf("%s: unchained acked %d of %d trees", runtime, plain.AckerCompleted, plain.SourceEvents)
+		}
+		if chained.AckerCompleted != chained.SourceEvents {
+			t.Errorf("%s: chained acked %d of %d trees", runtime, chained.AckerCompleted, chained.SourceEvents)
+		}
+	}
+	want := opTupleTotals(plain)
+	got := opTupleTotals(chained)
+	for op, n := range got {
+		if op == AckerName {
+			continue // acker invocation counts differ by construction
+		}
+		if op == "split+norm" {
+			if n != want["split"] {
+				t.Errorf("%s: fused split+norm saw %d tuples, want head's %d", runtime, n, want["split"])
+			}
+			continue
+		}
+		if n != want[op] {
+			t.Errorf("%s: operator %q saw %d tuples chained, %d unchained", runtime, op, n, want[op])
+		}
+	}
+}

@@ -12,40 +12,61 @@ import (
 // parity contract behind the simulator-validation loop — if the runtimes
 // diverge on *what* flows, comparing *how fast* it flows is meaningless.
 func TestNativeMatchesSimCounts(t *testing.T) {
+	// Topology shapes under test: the default word count, the same pipeline
+	// under a non-default parallelism vector (the shape the joint search's
+	// ParallelismOverride produces), and that scaled pipeline with its
+	// chainable pair fused — parity must hold across parallelism and
+	// chaining, not just the seed shape.
+	shapes := []struct {
+		name  string
+		build func() *Topology
+	}{
+		{"default", func() *Topology {
+			return wcTopology(100, func() Operator {
+				return ProcessFunc(func(Context, Tuple) {})
+			})
+		}},
+		{"scaled", func() *Topology {
+			return wcScaledTopology(100, 2, 4, 3)
+		}},
+		{"scaled+chain", func() *Topology {
+			chained, _, err := ChainTopology(wcScaledTopology(100, 2, 4, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return chained
+		}},
+	}
 	for _, sys := range []SystemProfile{Storm(), Flink()} {
 		for _, batch := range []int{1, 4} {
-			topo := wcTopology(100, func() Operator {
-				return ProcessFunc(func(Context, Tuple) {})
-			})
-			sim, err := RunSim(topo, SimConfig{System: sys, BatchSize: batch, Seed: 11, Sockets: 1})
-			if err != nil {
-				t.Fatal(err)
-			}
-			topo = wcTopology(100, func() Operator {
-				return ProcessFunc(func(Context, Tuple) {})
-			})
-			nat, err := RunNative(topo, NativeConfig{System: sys, BatchSize: batch, Seed: 11})
-			if err != nil {
-				t.Fatal(err)
-			}
-			name := sys.Name + "/batch=" + string(rune('0'+batch))
-			if sim.SourceEvents != nat.SourceEvents {
-				t.Errorf("%s: source events sim %d native %d", name, sim.SourceEvents, nat.SourceEvents)
-			}
-			if sim.SinkEvents != nat.SinkEvents {
-				t.Errorf("%s: sink events sim %d native %d", name, sim.SinkEvents, nat.SinkEvents)
-			}
-			if sim.AckerCompleted != nat.AckerCompleted {
-				t.Errorf("%s: acked roots sim %d native %d", name, sim.AckerCompleted, nat.AckerCompleted)
-			}
-			simOps := opTupleTotals(sim)
-			natOps := opTupleTotals(nat)
-			for op, want := range simOps {
-				if op == AckerName {
-					continue // acker batching differs; per-root completion is compared above
+			for _, shape := range shapes {
+				sim, err := RunSim(shape.build(), SimConfig{System: sys, BatchSize: batch, Seed: 11, Sockets: 1})
+				if err != nil {
+					t.Fatal(err)
 				}
-				if got := natOps[op]; got != want {
-					t.Errorf("%s: operator %q input tuples sim %d native %d", name, op, want, got)
+				nat, err := RunNative(shape.build(), NativeConfig{System: sys, BatchSize: batch, Seed: 11})
+				if err != nil {
+					t.Fatal(err)
+				}
+				name := sys.Name + "/batch=" + string(rune('0'+batch)) + "/" + shape.name
+				if sim.SourceEvents != nat.SourceEvents {
+					t.Errorf("%s: source events sim %d native %d", name, sim.SourceEvents, nat.SourceEvents)
+				}
+				if sim.SinkEvents != nat.SinkEvents {
+					t.Errorf("%s: sink events sim %d native %d", name, sim.SinkEvents, nat.SinkEvents)
+				}
+				if sim.AckerCompleted != nat.AckerCompleted {
+					t.Errorf("%s: acked roots sim %d native %d", name, sim.AckerCompleted, nat.AckerCompleted)
+				}
+				simOps := opTupleTotals(sim)
+				natOps := opTupleTotals(nat)
+				for op, want := range simOps {
+					if op == AckerName {
+						continue // acker batching differs; per-root completion is compared above
+					}
+					if got := natOps[op]; got != want {
+						t.Errorf("%s: operator %q input tuples sim %d native %d", name, op, want, got)
+					}
 				}
 			}
 		}

@@ -1,6 +1,10 @@
 package hw
 
-import "streamscale/internal/sim"
+import (
+	"fmt"
+
+	"streamscale/internal/sim"
+)
 
 // CacheSpec sizes one cache level.
 type CacheSpec struct {
@@ -124,6 +128,39 @@ func TableIII() MachineSpec {
 
 // TotalCores returns the machine's core count.
 func (s MachineSpec) TotalCores() int { return s.Sockets * s.CoresPerSocket }
+
+// Validate rejects machine shapes the models downstream would turn into
+// +Inf or NaN bottlenecks (zero sockets make every per-socket bound divide
+// by zero; zero link bandwidth prices any crossing byte as infinite). It
+// checks only the fields the analytical cost models consume, so a spec
+// carved from TableIII by a variant always passes; anything constructed by
+// hand is caught at calibration time with a descriptive error instead of a
+// poisoned ranking.
+func (s MachineSpec) Validate() error {
+	checks := []struct {
+		name string
+		bad  bool
+	}{
+		{"sockets", s.Sockets <= 0},
+		{"cores per socket", s.CoresPerSocket <= 0},
+		{"clock rate", s.ClockHz <= 0},
+		{"local DRAM bandwidth", s.LocalBWBytesPerCycle <= 0},
+		{"QPI link bandwidth", s.QPIBWBytesPerCycle <= 0},
+		{"local DRAM latency", s.Latency.LocalDRAM <= 0},
+		{"remote DRAM latency", s.Latency.RemoteDRAM <= 0},
+		{"LLC block size", s.LLC.BlockBytes <= 0},
+	}
+	for _, c := range checks {
+		if c.bad {
+			return fmt.Errorf("hw: machine spec has zero or negative %s", c.name)
+		}
+	}
+	if s.Latency.RemoteDRAM < s.Latency.LocalDRAM {
+		return fmt.Errorf("hw: machine spec has remote DRAM latency %d below local %d",
+			s.Latency.RemoteDRAM, s.Latency.LocalDRAM)
+	}
+	return nil
+}
 
 // Variant returns a named machine-spec variant. The empty name is the
 // Table III baseline; the others reshape it along one axis at a time so

@@ -1,0 +1,64 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every named variant — including the Table III baseline — must construct
+// a valid machine: Validate is the gate the analytical models rely on, so
+// a variant that fails it could never be swept.
+func TestVariantSpecsValidate(t *testing.T) {
+	for _, name := range VariantNames() {
+		spec, ok := Variant(name)
+		if !ok {
+			t.Fatalf("Variant(%q) unknown", name)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("variant %q: %v", name, err)
+		}
+		if err := spec.WithHugePages().Validate(); err != nil {
+			t.Errorf("variant %q with huge pages: %v", name, err)
+		}
+	}
+}
+
+// Validate must reject each degenerate shape with an error naming the
+// offending field, for every variant it could be derived from.
+func TestValidateRejectsDegenerateShapes(t *testing.T) {
+	breaks := []struct {
+		name string
+		want string
+		mut  func(*MachineSpec)
+	}{
+		{"zero sockets", "sockets", func(s *MachineSpec) { s.Sockets = 0 }},
+		{"negative sockets", "sockets", func(s *MachineSpec) { s.Sockets = -4 }},
+		{"zero cores", "cores per socket", func(s *MachineSpec) { s.CoresPerSocket = 0 }},
+		{"negative cores", "cores per socket", func(s *MachineSpec) { s.CoresPerSocket = -8 }},
+		{"zero clock", "clock rate", func(s *MachineSpec) { s.ClockHz = 0 }},
+		{"zero local bw", "local DRAM bandwidth", func(s *MachineSpec) { s.LocalBWBytesPerCycle = 0 }},
+		{"negative local bw", "local DRAM bandwidth", func(s *MachineSpec) { s.LocalBWBytesPerCycle = -1 }},
+		{"zero link bw", "QPI link bandwidth", func(s *MachineSpec) { s.QPIBWBytesPerCycle = 0 }},
+		{"negative link bw", "QPI link bandwidth", func(s *MachineSpec) { s.QPIBWBytesPerCycle = -3.3 }},
+		{"zero local latency", "local DRAM latency", func(s *MachineSpec) { s.Latency.LocalDRAM = 0 }},
+		{"zero remote latency", "remote DRAM latency", func(s *MachineSpec) { s.Latency.RemoteDRAM = 0 }},
+		{"zero line size", "LLC block size", func(s *MachineSpec) { s.LLC.BlockBytes = 0 }},
+		{"remote below local", "remote DRAM latency", func(s *MachineSpec) {
+			s.Latency.RemoteDRAM = s.Latency.LocalDRAM - 1
+		}},
+	}
+	for _, variant := range VariantNames() {
+		for _, b := range breaks {
+			spec, _ := Variant(variant)
+			b.mut(&spec)
+			err := spec.Validate()
+			if err == nil {
+				t.Errorf("variant %q, %s: accepted", variant, b.name)
+				continue
+			}
+			if !strings.Contains(err.Error(), b.want) {
+				t.Errorf("variant %q, %s: error %q does not name %q", variant, b.name, err, b.want)
+			}
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package core
+package place
 
 // Batching policy for the paper's §VI-A non-blocking tuple batching. The
 // mechanism (Algorithm 1) is implemented in the engine's output collector;

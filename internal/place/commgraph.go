@@ -11,7 +11,7 @@
 //     weighted graph (Definition 4), a min-k-cut solver, and a
 //     capacity-constrained partitioner that produces placements for
 //     k = 1..#sockets for performance-based selection, as §VI-B describes.
-package core
+package place
 
 import (
 	"fmt"

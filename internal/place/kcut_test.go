@@ -1,4 +1,4 @@
-package core
+package place
 
 import (
 	"math"

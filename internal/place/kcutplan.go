@@ -1,4 +1,4 @@
-package core
+package place
 
 import (
 	"fmt"
@@ -83,7 +83,7 @@ func PlanForK(g *CommGraph, k int, opts PlaceOptions) (*Plan, error) {
 		total += l
 	}
 	if capacity*float64(k) < total {
-		return nil, fmt.Errorf("core: load %.1f exceeds capacity %.1f of %d sockets", total, capacity*float64(k), k)
+		return nil, fmt.Errorf("place: load %.1f exceeds capacity %.1f of %d sockets", total, capacity*float64(k), k)
 	}
 	assign := make([]int, n)
 	if k > 1 {
@@ -108,7 +108,7 @@ func Plans(g *CommGraph, maxK int, opts PlaceOptions) ([]*Plan, error) {
 		out = append(out, p)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("core: no feasible placement up to %d sockets", maxK)
+		return nil, fmt.Errorf("place: no feasible placement up to %d sockets", maxK)
 	}
 	return out, nil
 }

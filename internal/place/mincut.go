@@ -1,4 +1,4 @@
-package core
+package place
 
 import "math"
 
@@ -8,7 +8,7 @@ import "math"
 func GlobalMinCut(w [][]float64) (float64, []int) {
 	n := len(w)
 	if n < 2 {
-		panic("core: min cut needs at least two vertices")
+		panic("place: min cut needs at least two vertices")
 	}
 	// Work on a copy; vertices merge as the algorithm proceeds.
 	g := make([][]float64, n)
@@ -91,7 +91,7 @@ func GlobalMinCut(w [][]float64) (float64, []int) {
 func MinKCut(w [][]float64, k int) ([]int, float64) {
 	n := len(w)
 	if k < 1 {
-		panic("core: k must be >= 1")
+		panic("place: k must be >= 1")
 	}
 	if k > n {
 		k = n

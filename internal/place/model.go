@@ -125,6 +125,9 @@ func Calibrate(res *engine.Result, spec hw.MachineSpec, sys engine.SystemProfile
 	if len(res.Edges) == 0 && n > 1 {
 		return nil, fmt.Errorf("place: probe result has no edge traffic account")
 	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("place: calibration spec: %w", err)
+	}
 	if batch <= 0 {
 		batch = 1
 	}

@@ -1,0 +1,145 @@
+package place
+
+import "fmt"
+
+// Problem bundles the inputs a placement strategy may consume. Strategies
+// differ in how much they need: min-k-cut works from the static
+// communication graph alone, the placement branch-and-bound needs the
+// calibrated cost model, and the joint RLAS search additionally needs the
+// operator structure to rescale parallelism. A strategy errors if its
+// required input is absent.
+type Problem struct {
+	// Graph is the static communication graph (Equation 1 weights).
+	Graph *CommGraph
+	// Model is the probe-calibrated analytical cost model.
+	Model *Model
+	// Workload is the operator structure over Model, for joint search.
+	Workload *Workload
+	// Sockets is the socket budget. Zero defaults to Model.Sockets when a
+	// model is present, else 4.
+	Sockets int
+}
+
+func (p Problem) sockets() int {
+	if p.Sockets > 0 {
+		return p.Sockets
+	}
+	if p.Model != nil {
+		return p.Model.Sockets
+	}
+	return 4
+}
+
+// Decision is one plan a strategy proposes: a socket assignment, an
+// optional parallelism vector (nil keeps the probe's), and the strategy's
+// own score for it. Scores are comparable within a strategy's output, not
+// across strategies (min-k-cut scores Equation 1 bytes, the model-driven
+// strategies score bottleneck cycles).
+type Decision struct {
+	Assign []int
+	Par    []int
+	Score  float64
+}
+
+// Strategy is one placement-planning algorithm: it maps a Problem to a
+// ranked list of candidate decisions, best first.
+type Strategy interface {
+	Name() string
+	Plan(p Problem) ([]Decision, error)
+}
+
+// KCutStrategy is the static strategy from the paper's Figure 14 ablation:
+// capacity-constrained min-k-cut over the communication graph, blind to
+// compute load unless balanced. It proposes one plan per socket count
+// 1..Sockets, re-ranked by cut cost.
+type KCutStrategy struct {
+	Opts PlaceOptions
+}
+
+func (KCutStrategy) Name() string { return "min-k-cut" }
+
+func (s KCutStrategy) Plan(p Problem) ([]Decision, error) {
+	if p.Graph == nil {
+		return nil, fmt.Errorf("place: %s strategy needs a communication graph", s.Name())
+	}
+	plans, err := Plans(p.Graph, p.sockets(), s.Opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Decision, 0, len(plans))
+	for _, pl := range plans {
+		out = append(out, Decision{Assign: append([]int(nil), pl.Assign...), Score: pl.Cost})
+	}
+	// Plans are per-k; rank by cut cost, ties to fewer sockets (the
+	// enumeration is already ascending in k, and the sort is stable).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Score < out[j-1].Score; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// BnBStrategy is the model-driven placement-only strategy: the
+// deterministic branch-and-bound over socket assignments, scored by the
+// calibrated model's predicted bottleneck at the probe's parallelism.
+type BnBStrategy struct {
+	Opts SearchOptions
+}
+
+func (BnBStrategy) Name() string { return "bnb" }
+
+func (s BnBStrategy) Plan(p Problem) ([]Decision, error) {
+	if p.Model == nil {
+		return nil, fmt.Errorf("place: %s strategy needs a calibrated model", s.Name())
+	}
+	out := []Decision{}
+	for _, c := range p.Model.Search(s.Opts) {
+		out = append(out, Decision{Assign: c.Assign, Score: c.Score})
+	}
+	return out, nil
+}
+
+// JointStrategy is the joint parallelism + placement strategy: co-search
+// executor counts with socket assignment (BriskStream's relative-
+// location-aware scheduling), scored on the re-priced model.
+type JointStrategy struct {
+	Opts JointOptions
+}
+
+func (JointStrategy) Name() string { return "joint" }
+
+func (s JointStrategy) Plan(p Problem) ([]Decision, error) {
+	if p.Workload == nil {
+		return nil, fmt.Errorf("place: %s strategy needs a workload (model + operator structure)", s.Name())
+	}
+	res, err := p.Workload.SearchJoint(s.Opts)
+	if err != nil {
+		return nil, err
+	}
+	out := []Decision{}
+	for _, c := range res.Candidates {
+		out = append(out, Decision{Assign: c.Assign, Par: c.Par, Score: c.Score})
+	}
+	return out, nil
+}
+
+// Strategies returns the built-in strategies with default options, in
+// ablation-table order (static to joint).
+func Strategies() []Strategy {
+	return []Strategy{
+		KCutStrategy{Opts: PlaceOptions{Balanced: true}},
+		BnBStrategy{},
+		JointStrategy{},
+	}
+}
+
+// StrategyByName looks up a built-in strategy.
+func StrategyByName(name string) (Strategy, bool) {
+	for _, s := range Strategies() {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,121 @@
+package place
+
+import (
+	"reflect"
+	"testing"
+
+	"streamscale/internal/apps"
+	"streamscale/internal/engine"
+)
+
+// TestStrategiesAgreeWithDirectCalls pins that the Strategy interface is a
+// pure adapter: each strategy's decisions match the underlying algorithm
+// invoked directly, so routing a caller through the interface changes
+// nothing.
+func TestStrategiesAgreeWithDirectCalls(t *testing.T) {
+	topo, err := apps.Build("wc", apps.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildCommGraph(topo, engine.Storm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := toyWorkload()
+	prob := Problem{Graph: g, Model: w.Model, Workload: w, Sockets: w.Model.Sockets}
+
+	t.Run("min-k-cut", func(t *testing.T) {
+		opts := PlaceOptions{Balanced: true}
+		got, err := (KCutStrategy{Opts: opts}).Plan(prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans, err := Plans(g, prob.Sockets, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(plans) {
+			t.Fatalf("%d decisions, %d plans", len(got), len(plans))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Score < got[i-1].Score {
+				t.Fatalf("decisions not ranked by cut cost: %v", got)
+			}
+		}
+		// Every plan appears exactly once, with its own cut cost.
+		for _, pl := range plans {
+			found := false
+			for _, d := range got {
+				found = found || reflect.DeepEqual(d.Assign, pl.Assign) && d.Score == pl.Cost
+			}
+			if !found {
+				t.Errorf("plan k=%d missing from decisions", pl.K)
+			}
+		}
+	})
+
+	t.Run("bnb", func(t *testing.T) {
+		got, err := (BnBStrategy{}).Plan(prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := w.Model.Search(SearchOptions{})
+		if len(got) != len(want) {
+			t.Fatalf("%d decisions, %d candidates", len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i].Assign, want[i].Assign) || got[i].Score != want[i].Score {
+				t.Fatalf("decision %d = %+v, want %+v", i, got[i], want[i])
+			}
+			if got[i].Par != nil {
+				t.Fatalf("placement-only decision carries a parallelism vector: %+v", got[i])
+			}
+		}
+	})
+
+	t.Run("joint", func(t *testing.T) {
+		got, err := (JointStrategy{}).Plan(prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.SearchJoint(JointOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(res.Candidates) {
+			t.Fatalf("%d decisions, %d candidates", len(got), len(res.Candidates))
+		}
+		for i, c := range res.Candidates {
+			if !reflect.DeepEqual(got[i].Assign, c.Assign) ||
+				!reflect.DeepEqual(got[i].Par, c.Par) || got[i].Score != c.Score {
+				t.Fatalf("decision %d = %+v, want %+v", i, got[i], c)
+			}
+		}
+	})
+}
+
+// TestStrategiesRejectMissingInputs: each strategy names its missing input
+// instead of panicking on a partial problem.
+func TestStrategiesRejectMissingInputs(t *testing.T) {
+	if _, err := (KCutStrategy{}).Plan(Problem{}); err == nil {
+		t.Error("min-k-cut accepted a problem without a graph")
+	}
+	if _, err := (BnBStrategy{}).Plan(Problem{}); err == nil {
+		t.Error("bnb accepted a problem without a model")
+	}
+	if _, err := (JointStrategy{}).Plan(Problem{}); err == nil {
+		t.Error("joint accepted a problem without a workload")
+	}
+}
+
+func TestStrategyByName(t *testing.T) {
+	for _, want := range []string{"min-k-cut", "bnb", "joint"} {
+		s, ok := StrategyByName(want)
+		if !ok || s.Name() != want {
+			t.Errorf("StrategyByName(%q) = %v, %v", want, s, ok)
+		}
+	}
+	if _, ok := StrategyByName("annealing"); ok {
+		t.Error("unknown strategy name resolved")
+	}
+}
