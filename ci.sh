@@ -86,3 +86,20 @@ go build -o "$BENCH_DIR/dspplace" ./cmd/dspplace
 diff "$BENCH_DIR/joint_j1.txt" "$BENCH_DIR/joint_j8.txt" || { echo "ci: joint search output differs across -jobs" >&2; exit 1; }
 go test -race -run 'TestSearchJointDeterministicAcrossWorkers' -count=1 ./internal/place/
 go run ./cmd/dspreport -experiment joint-smoke -quiet >/dev/null
+# Tail stage. Three gates:
+#   (1) bench.TailSmoke (via dspreport): on a deliberately backpressured
+#       open-loop cell, the coordinated-omission-corrected p99 must not
+#       fall below the uncorrected ablation, the per-root execute
+#       attribution must stay a nonzero subset of hw.Machine's
+#       ChargedCycles ledger, and the traced run must reproduce the
+#       memoized run's latency distribution bit-for-bit;
+#   (2) an open-loop every-tuple traced run must produce the artifacts;
+#   (3) dsptrace -tail must recompute the worst tuple trees from raw
+#       trace.json events and match summary.json's digest exactly
+#       (it exits non-zero on any field mismatch). Run at k=5 (the digest
+#       depth) and k=2 (fewer rows than the digest): the cross-check must
+#       cover the full digest either way.
+go run ./cmd/dspreport -experiment tail-smoke -quiet >/dev/null
+(cd "$BENCH_DIR" && ./dspbench -app wc -system storm -sockets 1 -rate 150000 -quiet -profile=false -trace tail_trace -trace-every 1 -trace-cadence -1 >/dev/null)
+go run ./cmd/dsptrace -tail 5 "$BENCH_DIR/tail_trace" >/dev/null
+go run ./cmd/dsptrace -tail 2 "$BENCH_DIR/tail_trace" >/dev/null

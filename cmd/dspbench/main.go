@@ -41,6 +41,10 @@ func main() {
 		joint    = flag.Bool("joint", false, "joint parallelism + placement optimization (RLAS): co-search executor counts with socket assignment and run the measured winner (4 sockets only)")
 		profile  = flag.Bool("profile", true, "print the Table II processor-time breakdown")
 		native   = flag.Bool("native", false, "run on the native goroutine runtime (real wall-clock, no processor model)")
+		rate     = flag.Float64("rate", 0, "open-loop source rate in events/s per source executor (0 = closed-loop); open-loop latency is measured against the intended arrival schedule")
+		noack    = flag.Bool("noack", false, "disable the system profile's ack tracking (e.g. storm without acks)")
+		co       = flag.Bool("co", false, "with -rate: re-enable the coordinated-omission bug (latency against actual emission instants) for ablation")
+		latEvery = flag.Int("lat-every", 0, "sink latency sampling period (0 = runtime default of 8; open-loop tail runs default to 1)")
 		chain    = flag.Bool("chain", false, "with -native: apply operator chaining before running")
 		validate = flag.Bool("validate", false, "with -native: run the simulator-validation loop (effect ratios, sim vs native) and exit")
 		jobs     = flag.Int("jobs", runtime.NumCPU(), "parallel simulation cells for multi-run steps like -place")
@@ -75,15 +79,21 @@ func main() {
 			runNativeValidate()
 			return
 		}
-		runNative(*app, *system, *batch, *events, *scale, *seed, *chain, *jsonOut)
+		runNative(*app, *system, *batch, *events, *scale, *seed, *chain, *jsonOut,
+			*rate, *noack, *co, *latEvery)
 		return
 	}
 
+	if *rate > 0 && *latEvery == 0 {
+		*latEvery = 1 // open-loop tail runs observe every sink tuple
+	}
 	cell := bench.Cell{
 		App: *app, System: *system,
 		Sockets: *sockets, Cores: *cores,
 		BatchSize: *batch, Seed: *seed, Scale: *scale,
-		Spec: *spec,
+		Spec:       *spec,
+		SourceRate: *rate, LatencySampleEvery: *latEvery,
+		NoAck: *noack, COUncorrected: *co,
 	}
 	if *events > 0 {
 		if def := cell.Events(); def > 0 {
@@ -173,6 +183,14 @@ func main() {
 		res.Throughput().KPerSecond(), res.SourceEvents, res.ElapsedSeconds, res.WallSeconds)
 	fmt.Printf("  latency      p50 %.2f ms   p99 %.2f ms   mean %.2f ms\n",
 		res.Latency.Quantile(0.5), res.Latency.Quantile(0.99), res.Latency.Mean())
+	if *rate > 0 {
+		basis := "intended arrival (coordinated-omission corrected)"
+		if *co {
+			basis = "actual emission (coordinated omission UNCORRECTED)"
+		}
+		fmt.Printf("  tail         p99.9 %.2f ms   p99.99 %.2f ms   max %.2f ms   vs %s\n",
+			res.Latency.Quantile(0.999), res.Latency.Quantile(0.9999), res.Latency.Max(), basis)
+	}
 	fmt.Printf("  utilization  cpu %.0f%%   memory bandwidth %.0f%%\n", res.CPUUtil*100, res.MemUtil*100)
 	fmt.Printf("  gc           %d minor collections, %.1f%% of time\n", res.MinorGCs, res.GCShare*100)
 	if res.AckerCompleted > 0 {
@@ -208,6 +226,14 @@ type benchRecord struct {
 	LatencyP50Ms  float64 `json:"latency_p50_ms"`
 	LatencyP99Ms  float64 `json:"latency_p99_ms"`
 	LatencyMeanMs float64 `json:"latency_mean_ms"`
+
+	// Tail fields (added with the HDR histogram; zero-valued records from
+	// older builds simply lack them — same dspbench/v2 schema).
+	LatencyP999Ms  float64 `json:"latency_p999_ms"`
+	LatencyP9999Ms float64 `json:"latency_p9999_ms"`
+	LatencyMaxMs   float64 `json:"latency_max_ms"`
+	SourceRate     float64 `json:"source_rate,omitempty"` // events/s; 0 = closed-loop
+	COUncorrected  bool    `json:"co_uncorrected,omitempty"`
 
 	SourceEvents  int64   `json:"source_events"`
 	ElapsedSimS   float64 `json:"elapsed_simulated_s"`
@@ -266,6 +292,13 @@ func writeBenchJSON(cell bench.Cell, res *engine.Result) (string, error) {
 		LatencyP50Ms:  res.Latency.Quantile(0.5),
 		LatencyP99Ms:  res.Latency.Quantile(0.99),
 		LatencyMeanMs: res.Latency.Mean(),
+
+		LatencyP999Ms:  res.Latency.Quantile(0.999),
+		LatencyP9999Ms: res.Latency.Quantile(0.9999),
+		LatencyMaxMs:   res.Latency.Max(),
+		SourceRate:     cell.SourceRate,
+		COUncorrected:  cell.COUncorrected,
+
 		SourceEvents:  res.SourceEvents,
 		ElapsedSimS:   res.ElapsedSeconds,
 		WallSeconds:   res.WallSeconds,
@@ -291,9 +324,13 @@ func fail(err error) {
 
 // runNative executes the cell on the real goroutine runtime and reports
 // host wall-clock performance.
-func runNative(app, system string, batch, events, scale int, seed int64, chain, jsonOut bool) {
+func runNative(app, system string, batch, events, scale int, seed int64, chain, jsonOut bool,
+	rate float64, noack, co bool, latEvery int) {
 	if events <= 0 {
 		events = 5000
+	}
+	if rate > 0 && latEvery == 0 {
+		latEvery = 1 // open-loop tail runs observe every sink tuple
 	}
 	topo, err := apps.Build(app, apps.Config{Events: events, Seed: seed, Scale: scale})
 	fail(err)
@@ -301,8 +338,12 @@ func runNative(app, system string, batch, events, scale int, seed int64, chain, 
 	if system == "flink" {
 		sys = engine.Flink()
 	}
+	if noack {
+		sys.AckEnabled = false
+	}
 	res, err := engine.RunNative(topo, engine.NativeConfig{
 		System: sys, BatchSize: batch, Seed: seed, Chaining: chain,
+		SourceRate: rate, CoordinatedOmission: co, LatencySampleEvery: latEvery,
 	})
 	fail(err)
 	fmt.Printf("%s on %s (native runtime, this host)\n", app, system)
@@ -310,6 +351,14 @@ func runNative(app, system string, batch, events, scale int, seed int64, chain, 
 		res.Throughput().KPerSecond(), res.SourceEvents, res.ElapsedSeconds*1e3)
 	fmt.Printf("  latency      p50 %.3f ms   p99 %.3f ms\n",
 		res.Latency.Quantile(0.5), res.Latency.Quantile(0.99))
+	if rate > 0 {
+		basis := "intended arrival (coordinated-omission corrected)"
+		if co {
+			basis = "actual emission (coordinated omission UNCORRECTED)"
+		}
+		fmt.Printf("  tail         p99.9 %.3f ms   p99.99 %.3f ms   max %.3f ms   vs %s\n",
+			res.Latency.Quantile(0.999), res.Latency.Quantile(0.9999), res.Latency.Max(), basis)
+	}
 	if res.AckerCompleted > 0 {
 		fmt.Printf("  acker        %d/%d tuple trees completed\n", res.AckerCompleted, res.SourceEvents)
 	}

@@ -224,6 +224,15 @@ func baseExperiments() []experiment {
 			}
 			return bench.UopCacheTable(rows), nil
 		}},
+		{id: "tail", desc: "extension: p99.99 tail latency with worst-tuple stall attribution", run: func() (string, error) {
+			rows, err := bench.TailStudy([]string{"wc", "sd"})
+			if err != nil {
+				return "", err
+			}
+			return bench.TailTable(rows), nil
+		}},
+		{id: "tail-smoke", desc: "tail CI gate: coordinated-omission ordering and ledger reconciliation (runs only when selected)",
+			run: bench.TailSmoke, explicitOnly: true},
 	}
 }
 

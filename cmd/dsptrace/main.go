@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"streamscale/internal/hw"
 	"streamscale/internal/trace"
 )
 
@@ -37,6 +38,7 @@ type traceFile struct {
 
 func main() {
 	top := flag.Int("top", 10, "number of slowest execute spans to list")
+	tailK := flag.Int("tail", 0, "recompute the k worst tuple trees from trace.json and cross-check them against summary.json's tail digest (0 = off)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dsptrace [-top k] <trace-dir>")
@@ -60,9 +62,159 @@ func main() {
 	printSlowest(&tf, *top)
 	printQueueWaits(&tf)
 
-	if !sum.Lossless {
+	ok := true
+	if *tailK > 0 {
+		ok = printTails(&tf, &sum, *tailK)
+	}
+	if !sum.Lossless || !ok {
 		os.Exit(1)
 	}
+}
+
+// printTails independently re-derives every tuple tree's causal account
+// from the raw trace.json event stream — the same folding the Tracer does
+// in memory — and cross-checks the worst trees field-by-field against the
+// summary.json tail digest. A mismatch means the two artifacts disagree
+// about the same run and fails the command.
+func printTails(tf *traceFile, sum *trace.Summary, k int) bool {
+	type acct struct {
+		root      int64
+		e2e       int64
+		sinkOp    string
+		buckets   map[string]int64
+		queueWait int64
+		deliver   int64
+		spans     int
+	}
+	accts := map[int64]*acct{}
+	get := func(root int64) *acct {
+		a := accts[root]
+		if a == nil {
+			a = &acct{root: root, buckets: map[string]int64{}}
+			accts[root] = a
+		}
+		return a
+	}
+	for _, ev := range tf.TraceEvents {
+		root := argInt(ev.Args, "root")
+		switch {
+		case ev.Ph == "X" && ev.Name == "execute":
+			a := get(root)
+			a.spans++
+			for key := range ev.Args {
+				if key == "op" || key == "root" || key == "cycles" {
+					continue
+				}
+				a.buckets[key] += argInt(ev.Args, key)
+			}
+		case ev.Ph == "b" && ev.Name == "queue-wait":
+			get(root).queueWait += argInt(ev.Args, "cycles")
+		case ev.Ph == "b" && ev.Name == "deliver":
+			get(root).deliver += argInt(ev.Args, "cycles")
+		case ev.Ph == "i" && ev.Name == "sink":
+			// Recording order mirrors the Tracer: at equal e2e the later
+			// sink arrival wins, matching TailRecord's >= update.
+			if a := get(root); argInt(ev.Args, "e2e_cycles") >= a.e2e {
+				a.e2e = argInt(ev.Args, "e2e_cycles")
+				a.sinkOp, _ = ev.Args["op"].(string)
+			}
+		}
+	}
+	ranked := make([]*acct, 0, len(accts))
+	for root, a := range accts {
+		if root == 0 || a.sinkOp == "" {
+			continue
+		}
+		ranked = append(ranked, a)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].e2e != ranked[j].e2e {
+			return ranked[i].e2e > ranked[j].e2e
+		}
+		return ranked[i].root < ranked[j].root
+	})
+	// Print only the k worst, but cross-check against the full ranking:
+	// summary.json carries its own fixed digest depth, which must match
+	// regardless of how many rows the user asked to see.
+	shown := ranked
+	if len(shown) > k {
+		shown = shown[:k]
+	}
+
+	// dominant mirrors trace.TailRecord.Dominant: largest component, ties
+	// resolved in fixed bucket order, then queue-wait, then deliver.
+	dominant := func(a *acct) (string, int64) {
+		name, best := "", int64(-1)
+		for bk := hw.Bucket(0); bk < hw.NumBuckets; bk++ {
+			if c := a.buckets[bk.String()]; c > best {
+				name, best = bk.String(), c
+			}
+		}
+		if a.queueWait > best {
+			name, best = "queue-wait", a.queueWait
+		}
+		if a.deliver > best {
+			name, best = "deliver", a.deliver
+		}
+		return name, best
+	}
+
+	fmt.Printf("\nworst tuple trees, recomputed from trace.json (top %d of %d sink-reaching):\n", len(shown), len(accts))
+	fmt.Printf("  %-10s %12s %10s %-14s %s\n", "root", "e2e cycles", "e2e ms", "sink", "dominant stall over tree")
+	clock := sum.ClockHz
+	for _, a := range shown {
+		dom, domC := dominant(a)
+		ms := float64(a.e2e) / float64(clock) * 1e3
+		fmt.Printf("  %-10d %12d %10.3f %-14s %s (%d cycles; queue-wait %d, deliver %d, %d exec spans)\n",
+			a.root, a.e2e, ms, a.sinkOp, dom, domC, a.queueWait, a.deliver, a.spans)
+	}
+
+	// Cross-check against summary.json: every digest entry must match the
+	// recomputation exactly, and the digest must be a prefix of our ranking.
+	mism := func(format string, args ...interface{}) bool {
+		fmt.Printf("  TAIL MISMATCH: "+format+"\n", args...)
+		return false
+	}
+	ok := true
+	for i, st := range sum.Tails {
+		if i >= len(ranked) {
+			ok = mism("summary has %d tail entries, trace.json yields %d", len(sum.Tails), len(ranked))
+			break
+		}
+		a := ranked[i]
+		dom, domC := dominant(a)
+		switch {
+		case st.Root != a.root:
+			ok = mism("rank %d: summary root %d, recomputed %d", i, st.Root, a.root)
+		case st.E2ECycles != a.e2e:
+			ok = mism("root %d: summary e2e %d, recomputed %d", a.root, st.E2ECycles, a.e2e)
+		case st.SinkOp != a.sinkOp:
+			ok = mism("root %d: summary sink %q, recomputed %q", a.root, st.SinkOp, a.sinkOp)
+		case st.Dominant != dom || st.DominantCycles != domC:
+			ok = mism("root %d: summary dominant %s (%d), recomputed %s (%d)", a.root, st.Dominant, st.DominantCycles, dom, domC)
+		case st.QueueWait != a.queueWait || st.Deliver != a.deliver || st.ExecSpans != a.spans:
+			ok = mism("root %d: summary qw/del/spans %d/%d/%d, recomputed %d/%d/%d",
+				a.root, st.QueueWait, st.Deliver, st.ExecSpans, a.queueWait, a.deliver, a.spans)
+		default:
+			for bk, c := range st.Buckets {
+				if a.buckets[bk] != c {
+					ok = mism("root %d: summary bucket %s=%d, recomputed %d", a.root, bk, c, a.buckets[bk])
+				}
+			}
+			for bk, c := range a.buckets {
+				if c != 0 && st.Buckets[bk] != c {
+					ok = mism("root %d: recomputed bucket %s=%d missing from summary", a.root, bk, c)
+				}
+			}
+		}
+		if !ok {
+			break
+		}
+	}
+	if ok {
+		fmt.Printf("  tail reconciliation: %d summary entries match the trace.json recomputation exactly\n", len(sum.Tails))
+	}
+	return ok
 }
 
 // printSlowest lists the k slowest execute spans with their dominant

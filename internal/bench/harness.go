@@ -64,6 +64,22 @@ type Cell struct {
 	// Spec selects a named machine-spec variant (hw.Variant; "" = the
 	// Table III baseline). HugePages/NoUopCache compose on top of it.
 	Spec string
+
+	// SourceRate throttles each source executor to the given event rate
+	// (events per simulated second); 0 runs closed-loop. Open-loop cells
+	// measure latency against the intended arrival schedule
+	// (coordinated-omission corrected) unless COUncorrected is set.
+	SourceRate float64
+	// LatencySampleEvery overrides the sink latency sampling period
+	// (0 = runtime default of 8; tail cells use 1 for every-tuple tails).
+	LatencySampleEvery int
+	// NoAck disables the system profile's ack tracking (e.g. "storm
+	// without acks" — the tail experiment's third engine configuration).
+	NoAck bool
+	// COUncorrected re-enables coordinated omission on open-loop cells
+	// (latency against actual emission instants) for ablation tables.
+	// Ignored when SourceRate is 0.
+	COUncorrected bool
 }
 
 // MachineSpec resolves the cell's machine: the named variant with the
@@ -163,6 +179,9 @@ func runCell(c Cell, tr *trace.Tracer) (*engine.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.NoAck {
+		sys.AckEnabled = false
+	}
 	topo, err := c.Topology()
 	if err != nil {
 		return nil, err
@@ -172,14 +191,17 @@ func runCell(c Cell, tr *trace.Tracer) (*engine.Result, error) {
 		seed = 1
 	}
 	cfg := engine.SimConfig{
-		System:    sys,
-		BatchSize: c.BatchSize,
-		Sockets:   c.Sockets,
-		Cores:     c.Cores,
-		Placement: c.Placement,
-		Seed:      seed,
-		GC:        c.GC,
-		Trace:     tr,
+		System:              sys,
+		BatchSize:           c.BatchSize,
+		Sockets:             c.Sockets,
+		Cores:               c.Cores,
+		Placement:           c.Placement,
+		Seed:                seed,
+		GC:                  c.GC,
+		SourceRate:          c.SourceRate,
+		LatencySampleEvery:  c.LatencySampleEvery,
+		CoordinatedOmission: c.COUncorrected,
+		Trace:               tr,
 	}
 	if c.Spec != "" || c.HugePages || c.NoUopCache {
 		spec, err := c.MachineSpec()

@@ -62,11 +62,28 @@ func (c Cell) Canonical() string {
 	if gc.YoungBytes >= 64<<20 {
 		gc.YoungBytes = 2 << 20
 	}
+	rate := c.SourceRate
+	if rate < 0 {
+		rate = 0 // runtime treats any non-positive rate as closed-loop
+	}
+	latEvery := c.LatencySampleEvery
+	if latEvery <= 0 {
+		latEvery = 8 // mirrors SimConfig.fill's default
+	}
+	co := c.COUncorrected
+	if rate == 0 {
+		co = false // runtime ignores the flag without an arrival schedule
+	}
+	noAck := c.NoAck
+	if c.System == "flink" {
+		noAck = false // flink's profile has acking off already
+	}
 
 	var sb strings.Builder
 	sb.Grow(256)
-	fmt.Fprintf(&sb, "cell-v2|app=%q|sys=%q|spec=%q|sockets=%d|cores=%d|batch=%d|events=%d|scale=%d|seed=%d",
+	fmt.Fprintf(&sb, "cell-v3|app=%q|sys=%q|spec=%q|sockets=%d|cores=%d|batch=%d|events=%d|scale=%d|seed=%d",
 		c.App, c.System, c.Spec, sockets, cores, batch, c.Events(), scale, seed)
+	fmt.Fprintf(&sb, "|rate=%s|latevery=%d|noack=%t|co=%t", ff(rate), latEvery, noAck, co)
 	fmt.Fprintf(&sb, "|gc=%d,%d,%s,%s,%s,%d,%s,%t",
 		int(gc.Kind), gc.YoungBytes,
 		ff(gc.SurvivorFraction), ff(gc.CopyCyclesPerByte), ff(gc.ScanCyclesPerByte),

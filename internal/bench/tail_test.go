@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"streamscale/internal/trace"
+)
+
+// TestTailSmoke runs the CI gate end to end: coordinated-omission ordering,
+// ledger reconciliation, and trace-as-pure-observer on a backpressured cell.
+func TestTailSmoke(t *testing.T) {
+	digest, err := TailSmoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(digest, "tail-smoke ok") {
+		t.Fatalf("unexpected digest: %q", digest)
+	}
+	t.Log(digest)
+}
+
+// TestTailDrillDownDeterministic pins the worst-tuple attribution: tracing
+// the same cell twice names the same root, the same dominant stall, and the
+// same cycle counts.
+func TestTailDrillDownDeterministic(t *testing.T) {
+	cell := Cell{App: "wc", System: "storm", Sockets: 1, EventScale: 0.25}
+	sat, err := Run(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.SourceRate = sat.Throughput().PerSecond() * TailLoad
+	cell.LatencySampleEvery = 1
+
+	var rows [2]TailRow
+	for i := range rows {
+		if err := fillWorst(&rows[i], cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rows[0] != rows[1] {
+		t.Fatalf("drill-down not deterministic:\n%+v\n%+v", rows[0], rows[1])
+	}
+	if rows[0].Dominant == "" || rows[0].DominantMs <= 0 {
+		t.Fatalf("no dominant stall named: %+v", rows[0])
+	}
+	if rows[0].WorstMs <= 0 {
+		t.Fatalf("worst tuple has non-positive e2e: %+v", rows[0])
+	}
+}
+
+// TestTailSummaryMatchesTracer pins the summary.json tail digest against the
+// tracer's in-memory records: same roots, same ordering, same attribution.
+// cmd/dsptrace -tail relies on this equivalence to cross-check artifacts.
+func TestTailSummaryMatchesTracer(t *testing.T) {
+	cell := Cell{App: "wc", System: "storm", Sockets: 1, EventScale: 0.25}
+	tr := trace.New(trace.Config{SampleEvery: 1, QueueCadence: -1})
+	if _, err := RunTraced(cell, tr); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.EncodeSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	recs := tr.Tails(5)
+	if len(recs) == 0 {
+		t.Fatal("no tail records")
+	}
+	for _, rec := range recs {
+		needle := `{"root":` + strconv.FormatInt(rec.Root, 10) + `,"e2e_cycles":` + strconv.FormatInt(rec.E2ECycles, 10)
+		if !strings.Contains(sb.String(), needle) {
+			t.Fatalf("summary.json missing tail entry %s\n%s", needle, sb.String())
+		}
+	}
+}
+
+// TestTailTableFormat pins the table shape: header lines plus one row per
+// config with the dominant-stall clause.
+func TestTailTableFormat(t *testing.T) {
+	rows := []TailRow{{
+		App: "wc", System: "storm", Ack: true,
+		RateKps: 123.4, Samples: 1000,
+		P50: 1, P99: 2, P999: 3, P9999: 4, Max: 5,
+		WorstRoot: 7, WorstMs: 5, Dominant: "queue-wait", DominantMs: 3.5,
+	}}
+	got := TailTable(rows)
+	for _, want := range []string{"p99.99", "wc", "storm", "on", "e2e 5.00 ms, queue-wait 3.50 ms over tree"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("table missing %q:\n%s", want, got)
+		}
+	}
+}

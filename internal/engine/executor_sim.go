@@ -85,6 +85,13 @@ type simExecutor struct {
 	// nextEmit is the next arrival instant under open-loop source pacing.
 	nextEmit sim.Cycles
 
+	// Open-loop intended-arrival schedule (coordinated-omission correction):
+	// tuple j from this source is *scheduled* at firstEmit + j*bornStep
+	// cycles regardless of when backpressure actually let it out, and is
+	// stamped with that instant. bornStep == 0 means uninitialized.
+	bornSched float64
+	bornStep  float64
+
 	// Flink barrier alignment: checkpoint id -> producers seen.
 	barrierSeen map[int64]int
 	nextBarrier sim.Cycles
@@ -93,6 +100,10 @@ type simExecutor struct {
 	latency *metrics.Histogram
 	isSink  bool
 	sinkN   int64
+	// sampleIn counts down sink tuples to the next latency sample; both
+	// runtimes use the identical countdown so they sample the same tuple
+	// positions (N, 2N, ...) for the same config.
+	sampleIn int
 }
 
 func newSimExecutor(rt *simRuntime, n *Node, index, global int) *simExecutor {
@@ -102,6 +113,7 @@ func newSimExecutor(rt *simRuntime, n *Node, index, global int) *simExecutor {
 		buffers:     make(map[string][]Tuple),
 		edges:       make(map[string][]*simEdge),
 		latency:     metrics.NewHistogram(1 << 14),
+		sampleIn:    rt.cfg.LatencySampleEvery,
 		isSink:      isSink(n),
 		stateSocket: -1,
 		barrierSeen: make(map[int64]int),
@@ -448,7 +460,9 @@ func (e *simExecutor) observeSink(t *Tuple) {
 		}
 		tr.Sink(e.global, e.node.Name, t.Root, e.now(), e2e)
 	}
-	if e.sinkN%int64(e.rt.cfg.LatencySampleEvery) == 0 {
+	e.sampleIn--
+	if e.sampleIn <= 0 {
+		e.sampleIn = e.rt.cfg.LatencySampleEvery
 		// Step execution windows overlap, so a tuple can be observed up to
 		// one quantum before its producer's window closes; clamp at zero.
 		lat := e.now() - sim.Cycles(t.Born)
@@ -672,6 +686,22 @@ func (c *simCtx) EmitTo(stream string, values ...Value) {
 	} else {
 		t.Born = int64(e.now())
 		if e.node.IsSource() {
+			if rate := e.rt.cfg.SourceRate; rate > 0 && !e.rt.cfg.CoordinatedOmission && stream != AckStream {
+				// Open-loop: stamp the *scheduled* emission instant, not the
+				// actual one. When backpressure stalls the throttled source,
+				// the wait the schedule would have imposed on a real client
+				// stays inside the measured latency instead of being
+				// silently forgiven (coordinated omission). The schedule
+				// base matches the nextEmit pacing base (first invocation's
+				// step start), so an unloaded source stamps ~the actual
+				// instant and closed-loop behavior is untouched.
+				if e.bornStep == 0 {
+					e.bornSched = float64(e.stepAt)
+					e.bornStep = float64(e.rt.cfg.Spec.ClockHz) / rate
+				}
+				t.Born = int64(e.bornSched)
+				e.bornSched += e.bornStep
+			}
 			e.rt.rootCtr++
 			t.Root = e.rt.rootCtr
 			if tr := e.rt.tr; tr != nil {

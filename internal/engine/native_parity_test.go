@@ -139,3 +139,48 @@ func TestLatencySampleEveryCapped(t *testing.T) {
 		t.Fatal("no sink events")
 	}
 }
+
+// TestNativeMatchesSimLatencySampling extends the parity contract to the
+// latency sampling cadence: both runtimes use the same per-executor
+// countdown (positions n, 2n, ... of each sink executor's tuple stream),
+// so for the same explicit LatencySampleEvery they must observe the same
+// number of latency samples. Both test shapes run a single sink executor,
+// making the per-executor streams directly comparable.
+func TestNativeMatchesSimLatencySampling(t *testing.T) {
+	for _, sys := range []SystemProfile{Storm(), Flink()} {
+		for _, batch := range []int{1, 4} {
+			for _, every := range []int{1, 4} {
+				topo := func() *Topology {
+					return wcTopology(100, func() Operator {
+						return ProcessFunc(func(Context, Tuple) {})
+					})
+				}
+				sim, err := RunSim(topo(), SimConfig{System: sys, BatchSize: batch, Seed: 11, Sockets: 1,
+					LatencySampleEvery: every})
+				if err != nil {
+					t.Fatal(err)
+				}
+				nat, err := RunNative(topo(), NativeConfig{System: sys, BatchSize: batch, Seed: 11,
+					LatencySampleEvery: every})
+				if err != nil {
+					t.Fatal(err)
+				}
+				name := sys.Name + "/batch=" + string(rune('0'+batch))
+				if sim.Latency.Count() == 0 {
+					t.Errorf("%s every=%d: sim observed no latency samples", name, every)
+				}
+				if sim.Latency.Count() != nat.Latency.Count() {
+					t.Errorf("%s every=%d: latency samples sim %d native %d (cadences misaligned)",
+						name, every, sim.Latency.Count(), nat.Latency.Count())
+				}
+				// The countdown observes positions n, 2n, ...: every sink
+				// tuple at n=1, floor(events/n) on the single sink executor.
+				want := sim.SinkEvents / int64(every)
+				if got := sim.Latency.Count(); got != want {
+					t.Errorf("%s every=%d: %d samples from %d sink events, want %d",
+						name, every, got, sim.SinkEvents, want)
+				}
+			}
+		}
+	}
+}

@@ -43,8 +43,21 @@ type NativeConfig struct {
 	QueueCap int
 	// Seed drives all per-executor randomness.
 	Seed int64
+	// SourceRate throttles each source executor to the given event rate
+	// (events per wall-clock second). Zero runs sources closed-loop at full
+	// speed; a nonzero rate yields open-loop latency at a fixed offered
+	// load, with tuples stamped at their *scheduled* emission instant so
+	// backpressure stalls stay inside the measured latency (coordinated-
+	// omission correction), mirroring the simulator's SourceRate semantics.
+	SourceRate float64
+	// CoordinatedOmission re-enables the coordinated-omission bug for
+	// ablation: open-loop tuples are stamped with the actual emission
+	// instant instead of the scheduled one. Ignored when SourceRate is 0.
+	CoordinatedOmission bool
 	// LatencySampleEvery samples end-to-end latency every n-th sink tuple
-	// (default 16, capped at 2^30 so countdown arithmetic cannot overflow).
+	// (default 8, matching the simulator's cadence so the two runtimes
+	// sample identical tuple positions; capped at 2^30 so countdown
+	// arithmetic cannot overflow).
 	LatencySampleEvery int
 	// Chaining fuses forwardable operator pairs (ChainTopology) before
 	// building the executor graph.
@@ -66,7 +79,7 @@ func (c *NativeConfig) fill() {
 		c.QueueCap = 1024
 	}
 	if c.LatencySampleEvery <= 0 {
-		c.LatencySampleEvery = 16
+		c.LatencySampleEvery = 8
 	}
 	if c.LatencySampleEvery > maxLatencySampleEvery {
 		c.LatencySampleEvery = maxLatencySampleEvery
@@ -141,10 +154,10 @@ type nativeExec struct {
 	in      *ring.MPSC[Msg]
 	inConns []*nativeConn // parallel to in's lanes; run ends after one EOS per lane
 
-	outConns []*nativeConn         // distinct downstream executors (one EOS each)
-	connFor  map[int]*nativeConn   // consumer global index → conn
-	edges    [][]*nativeEdge       // indexed by out-stream position in node.Streams
-	ackIdx   int                   // position of AckStream in node.Streams, -1 if none
+	outConns []*nativeConn       // distinct downstream executors (one EOS each)
+	connFor  map[int]*nativeConn // consumer global index → conn
+	edges    [][]*nativeEdge     // indexed by out-stream position in node.Streams
+	ackIdx   int                 // position of AckStream in node.Streams, -1 if none
 
 	// buffers collects the current invocation's emissions per out stream
 	// (stream-indexed array, not a map: EmitTo is the hottest user call).
@@ -163,6 +176,14 @@ type nativeExec struct {
 	rootSeq     int64 // per-source root counter; IDs are global<<40|seq
 	born        int64 // coarse Born stamp, one clock read per invocation
 	sampleIn    int   // countdown to the next latency sample
+
+	// Open-loop pacing state (SourceRate > 0). nextEmitNs is the wall
+	// instant the next invocation may start; bornSched/bornStep hold the
+	// intended-arrival schedule each emitted tuple is stamped with
+	// (coordinated-omission correction). bornStep == 0 means unpaced.
+	nextEmitNs int64
+	bornSched  float64
+	bornStep   float64
 
 	ctx      *nativeCtx
 	ackAccum []ackPair // per-invocation XOR accumulator, reused
@@ -185,8 +206,8 @@ func (rt *nativeRuntime) build() {
 				latency:  metrics.NewHistogram(1 << 14),
 				buffers:  make([][]Tuple, len(n.Streams)),
 				edges:    make([][]*nativeEdge, len(n.Streams)),
-				ackIdx:  -1,
-				connFor: make(map[int]*nativeConn),
+				ackIdx:   -1,
+				connFor:  make(map[int]*nativeConn),
 				sampleIn: rt.cfg.LatencySampleEvery,
 			}
 			for si := range n.Streams {
@@ -342,9 +363,8 @@ func (rt *nativeRuntime) run(app string) (*Result, error) {
 	for _, e := range rt.execs {
 		res.SourceEvents += e.srcEvents
 		res.SinkEvents += e.sinkN
-		for _, s := range e.latency.Samples() {
-			res.Latency.Observe(s)
-		}
+		// Exact bucket-count merge (no sampled observation dropped).
+		res.Latency.Merge(e.latency)
 		res.Executors = append(res.Executors, ExecStat{
 			Op: e.node.Name, Index: e.index, Socket: -1,
 			Tuples: e.tuples, Invocations: e.invocations,
@@ -387,16 +407,36 @@ func (e *nativeExec) loop() {
 // One clock read stamps every tuple born this invocation (coarse Born):
 // at batch sizes worth measuring, per-tuple timestamps are themselves a
 // measurable cost, exactly the effect the runtime exists to quantify.
+// Under SourceRate the invocation first sleeps until its scheduled start,
+// then advances the schedule by the events actually emitted — identical
+// open-loop semantics to the simulator's nextEmit pacing.
 //
 //dsp:hotpath
 //dsplint:wallclock
 func (e *nativeExec) sourceInvocation() bool {
 	e.invocations++
-	e.born = time.Now().UnixNano()
+	now := time.Now().UnixNano()
+	rate := e.rt.cfg.SourceRate
+	if rate > 0 {
+		if e.bornStep == 0 {
+			e.nextEmitNs = now
+			e.bornSched = float64(now)
+			e.bornStep = 1e9 / rate
+		}
+		for now < e.nextEmitNs {
+			time.Sleep(time.Duration(e.nextEmitNs - now))
+			now = time.Now().UnixNano()
+		}
+	}
+	e.born = now
+	before := e.srcEvents
 	e.emitted = 0
 	alive := true
 	for e.emitted < e.rt.cfg.BatchSize && alive {
 		alive = e.src.Next(e.ctx)
+	}
+	if rate > 0 {
+		e.nextEmitNs += int64(float64(e.srcEvents-before) * e.bornStep)
 	}
 	e.endInvocation()
 	return alive
@@ -674,6 +714,13 @@ func (c *nativeCtx) EmitTo(stream string, values ...Value) {
 	} else {
 		t.Born = e.born
 		if e.node.IsSource() {
+			if e.bornStep != 0 && !e.rt.cfg.CoordinatedOmission && stream != AckStream {
+				// Open-loop: stamp the scheduled emission instant so
+				// backpressure stalls at the throttled source stay inside
+				// the measured latency (coordinated-omission correction).
+				t.Born = int64(e.bornSched)
+				e.bornSched += e.bornStep
+			}
 			// Per-executor root sequence: unique across executors without
 			// a shared atomic counter.
 			e.rootSeq++

@@ -52,6 +52,14 @@ type SimConfig struct {
 	// yields open-loop latency measurements at a fixed offered load.
 	SourceRate float64
 
+	// CoordinatedOmission re-enables the coordinated-omission bug for
+	// ablation studies: open-loop sources stamp tuples with the *actual*
+	// emission instant instead of the scheduled one, so queueing delay at
+	// the throttled source (i.e. backpressure) is silently forgiven.
+	// Leave false for honest open-loop latency. Ignored when SourceRate
+	// is 0 — closed-loop runs have no arrival schedule to correct against.
+	CoordinatedOmission bool
+
 	// Seed drives all randomness.
 	Seed int64
 	// QueueCap overrides the profile's queue capacity.
@@ -395,9 +403,9 @@ func (rt *simRuntime) run(app string) (*Result, error) {
 			res.OperatorProfiles[e.node.Name] = opProf
 		}
 		opProf.Add(&e.costs)
-		for _, s := range e.latency.Samples() {
-			res.Latency.Observe(s)
-		}
+		// Exact bucket-count merge: unlike re-observing Samples(), no
+		// sampled observation (and in particular no tail mass) is lost.
+		res.Latency.Merge(e.latency)
 		stat := ExecStat{
 			Op: e.node.Name, Index: e.index, Socket: e.stateSocket,
 			Tuples: e.tuples, Invocations: e.invocations, Costs: e.costs,

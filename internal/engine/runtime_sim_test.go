@@ -259,6 +259,71 @@ func TestSimOpenLoopSourceRate(t *testing.T) {
 	}
 }
 
+// Coordinated-omission correction: an overloaded open-loop run measures
+// latency against the *intended* arrival schedule, so a throttled source
+// that falls behind cannot forgive its own backpressure stalls. The
+// corrected distribution must dominate the CoordinatedOmission ablation
+// (latency against actual emission) at every quantile, and the flag must
+// be inert on closed-loop runs.
+func TestSimCoordinatedOmissionCorrection(t *testing.T) {
+	mk := func() *Topology {
+		return wcTopology(400, func() Operator { return ProcessFunc(func(Context, Tuple) {}) })
+	}
+	sat, err := RunSim(mk(), SimConfig{System: Storm(), Seed: 5, Sockets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offer 2x the measured capacity per source executor: the intended
+	// schedule outruns what the machine can emit, so intended-arrival
+	// latency must exceed emission-based latency.
+	rate := sat.Throughput().PerSecond()
+	base := SimConfig{System: Storm(), Seed: 5, Sockets: 1, SourceRate: rate, LatencySampleEvery: 1}
+	corrected, err := RunSim(mk(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated := base
+	ablated.CoordinatedOmission = true
+	uncorrected, err := RunSim(mk(), ablated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected.Latency.Count() != uncorrected.Latency.Count() {
+		t.Fatalf("sample counts differ: corrected %d uncorrected %d",
+			corrected.Latency.Count(), uncorrected.Latency.Count())
+	}
+	strictly := false
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 0.9999, 1} {
+		c, u := corrected.Latency.Quantile(q), uncorrected.Latency.Quantile(q)
+		if c < u {
+			t.Errorf("corrected Quantile(%v) %.6f ms below uncorrected %.6f ms", q, c, u)
+		}
+		if c > u {
+			strictly = true
+		}
+	}
+	if !strictly {
+		t.Error("correction had no effect at any quantile on a backpressured run")
+	}
+
+	// Closed-loop runs have no intended schedule: the ablation flag must
+	// change nothing, quantile for quantile.
+	closedOff, err := RunSim(mk(), SimConfig{System: Storm(), Seed: 5, Sockets: 1, LatencySampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedOn, err := RunSim(mk(), SimConfig{System: Storm(), Seed: 5, Sockets: 1, LatencySampleEvery: 1,
+		CoordinatedOmission: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.9999, 1} {
+		if a, b := closedOff.Latency.Quantile(q), closedOn.Latency.Quantile(q); a != b {
+			t.Errorf("CoordinatedOmission flag perturbed a closed-loop run: Quantile(%v) %v vs %v", q, a, b)
+		}
+	}
+}
+
 // Per-operator profiles partition the total account.
 func TestSimOperatorProfiles(t *testing.T) {
 	res, _, _ := simWC(t, SimConfig{System: Storm(), Seed: 2}, 100)

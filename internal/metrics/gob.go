@@ -7,19 +7,20 @@ import (
 
 // histogramWire mirrors Histogram's unexported state one-for-one so the
 // persistent result cache can round-trip histograms losslessly. Every
-// field participates: quantiles depend on the retained samples, and
-// resuming observation after a decode needs cap/stride/skip to continue
-// the decimation schedule exactly where it stopped.
+// field participates: quantiles depend on the bucket counts and window
+// offset, and resuming observation after a decode needs the precision and
+// exact moments to continue exactly where the encode stopped. The cached
+// cumulative view is derived state and is rebuilt on demand after decode.
 type histogramWire struct {
-	Samples []float64
-	Cap     int
-	Stride  int
-	Skip    int
-	Count   int64
-	Sum     float64
-	SumSq   float64
-	Min     float64
-	Max     float64
+	Bits   int
+	Base   int
+	Counts []int64
+	Zero   int64
+	Count  int64
+	Sum    float64
+	SumSq  float64
+	Min    float64
+	Max    float64
 }
 
 // GobEncode implements gob.GobEncoder, serializing the full histogram
@@ -27,15 +28,15 @@ type histogramWire struct {
 func (h *Histogram) GobEncode() ([]byte, error) {
 	var buf bytes.Buffer
 	err := gob.NewEncoder(&buf).Encode(histogramWire{
-		Samples: h.samples,
-		Cap:     h.cap,
-		Stride:  h.stride,
-		Skip:    h.skip,
-		Count:   h.count,
-		Sum:     h.sum,
-		SumSq:   h.sumSq,
-		Min:     h.min,
-		Max:     h.max,
+		Bits:   h.bits,
+		Base:   h.base,
+		Counts: h.counts,
+		Zero:   h.zero,
+		Count:  h.count,
+		Sum:    h.sum,
+		SumSq:  h.sumSq,
+		Min:    h.min,
+		Max:    h.max,
 	})
 	return buf.Bytes(), err
 }
@@ -47,15 +48,15 @@ func (h *Histogram) GobDecode(data []byte) error {
 		return err
 	}
 	*h = Histogram{
-		samples: w.Samples,
-		cap:     w.Cap,
-		stride:  w.Stride,
-		skip:    w.Skip,
-		count:   w.Count,
-		sum:     w.Sum,
-		sumSq:   w.SumSq,
-		min:     w.Min,
-		max:     w.Max,
+		bits:   w.Bits,
+		base:   w.Base,
+		counts: w.Counts,
+		zero:   w.Zero,
+		count:  w.Count,
+		sum:    w.Sum,
+		sumSq:  w.SumSq,
+		min:    w.Min,
+		max:    w.Max,
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package metrics
 import (
 	"bytes"
 	"encoding/gob"
+	"math"
+	"math/rand"
 	"reflect"
 	"testing"
 )
@@ -20,6 +22,16 @@ func roundTrip(t *testing.T, h *Histogram) *Histogram {
 	return out
 }
 
+// wireEqual compares the wire-relevant state (everything but the derived
+// quantile cache, which is rebuilt on demand after decode).
+func wireEqual(a, b *Histogram) bool {
+	return a.bits == b.bits && a.base == b.base && a.zero == b.zero &&
+		a.count == b.count && a.sum == b.sum && a.sumSq == b.sumSq &&
+		(a.min == b.min || (math.IsInf(a.min, 1) && math.IsInf(b.min, 1))) &&
+		(a.max == b.max || (math.IsInf(a.max, -1) && math.IsInf(b.max, -1))) &&
+		reflect.DeepEqual(a.counts, b.counts)
+}
+
 func TestHistogramGobRoundTrip(t *testing.T) {
 	cases := map[string]*Histogram{
 		"empty": NewHistogram(0),
@@ -30,12 +42,13 @@ func TestHistogramGobRoundTrip(t *testing.T) {
 			}
 			return h
 		}(),
-		"decimated": func() *Histogram {
-			// Overflow the sample cap several times so stride/skip are
-			// mid-schedule and the retained set is a strided subset.
-			h := NewHistogram(32)
-			for i := 0; i < 1000; i++ {
-				h.Observe(float64(i%97) / 3)
+		"wide": func() *Histogram {
+			// Span several orders of magnitude plus the zero bucket so the
+			// dense window, base offset, and zero count all participate.
+			h := NewHistogramPrecision(10)
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < 5000; i++ {
+				h.Observe(math.Exp(rng.NormFloat64()*4) - 1)
 			}
 			return h
 		}(),
@@ -43,17 +56,50 @@ func TestHistogramGobRoundTrip(t *testing.T) {
 	for name, h := range cases {
 		t.Run(name, func(t *testing.T) {
 			got := roundTrip(t, h)
-			if !reflect.DeepEqual(h, got) {
+			if !wireEqual(h, got) {
 				t.Fatalf("round trip not lossless:\n have %+v\n got  %+v", h, got)
 			}
 			// The decode must also leave the histogram usable: further
-			// observations continue the decimation schedule identically.
+			// observations land in identical buckets with identical moments
+			// — the mid-stream round-trip contract the memo cache needs.
 			h.Observe(42)
 			got.Observe(42)
-			if !reflect.DeepEqual(h, got) {
+			h.Observe(0.0001)
+			got.Observe(0.0001)
+			if !wireEqual(h, got) {
 				t.Fatalf("post-decode Observe diverged:\n have %+v\n got  %+v", h, got)
 			}
+			for _, q := range []float64{0, 0.5, 0.99, 1} {
+				if a, b := h.Quantile(q), got.Quantile(q); a != b {
+					t.Fatalf("post-decode Quantile(%v): %v vs %v", q, a, b)
+				}
+			}
 		})
+	}
+}
+
+// TestHistogramGobMidStreamInterleaved round-trips at several points of a
+// single observation stream and checks the decoded copy tracks the
+// original bit-for-bit to the end.
+func TestHistogramGobMidStreamInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := NewHistogram(0)
+	var snap *Histogram
+	for i := 0; i < 20_000; i++ {
+		v := rng.ExpFloat64() * 50
+		h.Observe(v)
+		if snap != nil {
+			snap.Observe(v)
+		}
+		if i == 4999 {
+			snap = roundTrip(t, h)
+		}
+		if i == 14_999 {
+			snap = roundTrip(t, snap) // second hop: decode of a decode
+		}
+	}
+	if !wireEqual(h, snap) {
+		t.Fatalf("mid-stream round-trip diverged:\n have %+v\n got  %+v", h, snap)
 	}
 }
 

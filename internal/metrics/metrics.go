@@ -6,38 +6,114 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Histogram collects float64 observations (latencies, footprints) and
-// reports distribution statistics. For bounded memory it keeps up to a cap
-// of raw samples using reservoir-free striding: after the cap is hit it
-// keeps every k-th observation, doubling k each time the buffer refills.
-// Mean, count, and standard deviation are always exact.
+// reports distribution statistics. It is an HDR-style bounded-relative-error
+// histogram: observations are bucketed into power-of-two exponent ranges,
+// each split into 2^bits linear sub-buckets, so memory is O(log(range)) and
+// *every* observation contributes to every quantile — there is no sample
+// decimation and therefore no tail loss, no matter how many observations
+// stream in. Count, mean, standard deviation, min, and max are always exact.
+//
+// Precision: a bucket spanning [low, low+width) reports its lower edge, so a
+// quantile underestimates the true nearest-rank value by a relative error
+// < 2^-(bits-1) (0.79% at the default bits=8) for any value >= 2^(bits-1)
+// valueUnits (~1.2e-4 at the default precision); below that the error is
+// absolute and < 1/valueUnits (~1e-6). Values are scaled by valueUnits
+// (2^20) before bucketing so sub-millisecond latencies retain fine absolute
+// resolution before the relative regime takes over. Values <= 0 (and NaN,
+// which has no order) are counted in a dedicated zero bucket; values above
+// 2^42 valueUnits saturate into the top bucket (min/max stay exact).
 type Histogram struct {
-	samples []float64
-	cap     int
-	stride  int
-	skip    int
+	bits   int     // sub-bucket bits; relative error < 2^-(bits-1)
+	counts []int64 // dense bucket counts; counts[i] is bucket base+i
+	base   int     // global index of counts[0]
+	zero   int64   // observations <= 0 (or NaN)
 
 	count int64
 	sum   float64
 	sumSq float64
 	min   float64
 	max   float64
+
+	cum   []int64 // cached cumulative counts; cum[i+1] = zero + sum(counts[:i+1])
+	cumOK bool
 }
 
-// NewHistogram creates a histogram keeping at most cap raw samples
-// (cap <= 0 selects a default of 65536).
-func NewHistogram(cap int) *Histogram {
-	if cap <= 0 {
-		cap = 65536
+const (
+	// valueUnits scales observations into fixed-point bucket units.
+	valueUnits = 1 << 20
+	// defaultBits gives 256 linear sub-buckets per power of two:
+	// relative error < 1/128 = 0.79%, comfortably under the 1% target.
+	defaultBits = 8
+	minBits     = 4
+	maxBits     = 14
+)
+
+// maxUnits caps the bucketable range; larger scaled values saturate into
+// the top bucket (their exact magnitude survives in min/max/sum).
+var maxUnits = math.Ldexp(1, 62)
+
+// NewHistogram creates a histogram at the default precision (bits=8,
+// relative error < 0.79%). The capHint parameter is retained for
+// compatibility with the former fixed-capacity sample buffer and is
+// ignored: bucket storage grows on demand and is O(log(range)).
+func NewHistogram(capHint int) *Histogram {
+	_ = capHint
+	return NewHistogramPrecision(defaultBits)
+}
+
+// NewHistogramPrecision creates a histogram with 2^bits linear sub-buckets
+// per power of two, i.e. relative error < 2^-(bits-1). bits is clamped into
+// [4, 14]; bits <= 0 selects the default (8).
+func NewHistogramPrecision(bits int) *Histogram {
+	if bits <= 0 {
+		bits = defaultBits
 	}
-	return &Histogram{cap: cap, stride: 1, min: math.Inf(1), max: math.Inf(-1)}
+	if bits < minBits {
+		bits = minBits
+	}
+	if bits > maxBits {
+		bits = maxBits
+	}
+	return &Histogram{bits: bits, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// bucketIndex maps a scaled value u (in [0, maxUnits]) to a global bucket
+// index. Indices [0, 2^bits) are the linear region (width one unit); above
+// that each power of two is split into 2^(bits-1) sub-buckets.
+func (h *Histogram) bucketIndex(u float64) int {
+	top := 1 << h.bits
+	if u < float64(top) {
+		return int(u)
+	}
+	exp := math.Ilogb(u)            // floor(log2 u) >= bits
+	bkt := exp - h.bits + 1         // power-of-two bucket, >= 1
+	sub := int(math.Ldexp(u, -bkt)) // floor(u / 2^bkt) in [2^(bits-1), 2^bits)
+	half := top >> 1
+	return top + (bkt-1)*half + (sub - half)
+}
+
+// bucketLow is the inverse of bucketIndex: the lower edge of bucket idx,
+// in observation units (already divided back by valueUnits).
+func (h *Histogram) bucketLow(idx int) float64 {
+	top := 1 << h.bits
+	if idx < top {
+		return float64(idx) / valueUnits
+	}
+	half := top >> 1
+	r := idx - top
+	bkt := r/half + 1
+	sub := r%half + half
+	return math.Ldexp(float64(sub), bkt) / valueUnits
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	if h.bits == 0 {
+		h.bits = defaultBits // zero-value receiver adopts the default precision
+	}
 	h.count++
 	h.sum += v
 	h.sumSq += v * v
@@ -47,39 +123,99 @@ func (h *Histogram) Observe(v float64) {
 	if v > h.max {
 		h.max = v
 	}
-	if h.skip > 0 {
-		h.skip--
+	h.cumOK = false
+	if v <= 0 || math.IsNaN(v) {
+		h.zero++
 		return
 	}
-	h.skip = h.stride - 1
-	if len(h.samples) >= h.cap {
-		// Decimate: keep every other sample, double the stride. Two
-		// subtleties are load-bearing here.
-		//
-		// The kept samples go into a fresh slice: Samples() hands out the
-		// live backing array, so rewriting it in place would corrupt a
-		// slice a caller still holds from before the decimation.
-		//
-		// The retained samples are spaced `stride` observations apart and
-		// the incoming observation v sits exactly `stride` past the last
-		// one. Keeping even positions of an odd-length buffer would retain
-		// the last sample and then append v only one old stride (half the
-		// new stride) behind it, breaking uniform coverage of the
-		// observation stream; an odd-length buffer therefore keeps odd
-		// positions, whose last element sits one old stride earlier.
-		start := 0
-		if len(h.samples)%2 == 1 {
-			start = 1
-		}
-		kept := make([]float64, 0, (len(h.samples)-start+1)/2+1)
-		for i := start; i < len(h.samples); i += 2 {
-			kept = append(kept, h.samples[i])
-		}
-		h.samples = kept
-		h.stride *= 2
-		h.skip = h.stride - 1
+	u := v * valueUnits
+	if u > maxUnits {
+		u = maxUnits
 	}
-	h.samples = append(h.samples, v)
+	h.addCount(h.bucketIndex(u), 1)
+}
+
+// addCount adds n observations to global bucket idx, growing the dense
+// counts window as needed (amortized doubling on the high side; low-side
+// growth is exact because values trending downward are rare).
+func (h *Histogram) addCount(idx int, n int64) {
+	switch {
+	case len(h.counts) == 0:
+		if cap(h.counts) == 0 {
+			h.counts = make([]int64, 1, 64)
+		} else {
+			h.counts = h.counts[:1]
+			h.counts[0] = 0
+		}
+		h.base = idx
+	case idx < h.base:
+		grown := make([]int64, len(h.counts)+(h.base-idx))
+		copy(grown[h.base-idx:], h.counts)
+		h.counts = grown
+		h.base = idx
+	case idx >= h.base+len(h.counts):
+		need := idx - h.base + 1
+		if need <= cap(h.counts) {
+			tail := h.counts[len(h.counts):need]
+			for i := range tail {
+				tail[i] = 0
+			}
+			h.counts = h.counts[:need]
+		} else {
+			c := 2 * cap(h.counts)
+			if c < need {
+				c = need
+			}
+			grown := make([]int64, need, c)
+			copy(grown, h.counts)
+			h.counts = grown
+		}
+	}
+	h.counts[idx-h.base] += n
+}
+
+// Merge folds every observation of o into h, exactly: bucket counts add
+// integer-wise (re-bucketed by representative if precisions differ),
+// count/min/max are exact, and sum/sumSq add as float64 partial sums (so
+// the merged mean equals the sequential mean up to float addition order).
+// Merging is the lossless way to combine per-executor histograms — unlike
+// re-observing Samples(), no count or tail mass is dropped.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.bits == 0 {
+		h.bits = o.bits
+	}
+	h.cumOK = false
+	h.count += o.count
+	h.sum += o.sum
+	h.sumSq += o.sumSq
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.zero += o.zero
+	if o.bits == h.bits {
+		for i, c := range o.counts {
+			if c != 0 {
+				h.addCount(o.base+i, c)
+			}
+		}
+		return
+	}
+	for i, c := range o.counts {
+		if c == 0 {
+			continue
+		}
+		u := o.bucketLow(o.base+i) * valueUnits
+		if u > maxUnits {
+			u = maxUnits
+		}
+		h.addCount(h.bucketIndex(u), c)
+	}
 }
 
 // Count returns the number of observations.
@@ -106,7 +242,9 @@ func (h *Histogram) Stddev() float64 {
 	return math.Sqrt(v)
 }
 
-// Min returns the smallest observation (0 when empty).
+// Min returns the smallest observation. An empty histogram returns 0 (the
+// internal state and gob wire keep the +Inf sentinel; the accessor contract
+// is uniformly "empty reads as 0", matching Mean/Quantile).
 func (h *Histogram) Min() float64 {
 	if h.count == 0 {
 		return 0
@@ -114,7 +252,7 @@ func (h *Histogram) Min() float64 {
 	return h.min
 }
 
-// Max returns the largest observation (0 when empty).
+// Max returns the largest observation (0 when empty, as Min).
 func (h *Histogram) Max() float64 {
 	if h.count == 0 {
 		return 0
@@ -122,17 +260,50 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
-// Quantile returns the q-quantile over the retained samples using the
-// nearest-rank definition: the smallest retained sample whose cumulative
-// frequency is >= q. q is clamped into [0, 1] (the old floor(q*(len-1))
-// indexing biased high quantiles low on small sample sets and silently
-// mis-indexed for out-of-range q). A NaN q returns NaN; an empty histogram
-// returns 0.
+// cumulative returns the cached cumulative-count view, rebuilding it only
+// when observations arrived since the last quantile read. cum[0] is the
+// zero bucket; cum[i+1] adds counts[i]. Repeated Quantile/CDFAt calls on an
+// unchanged histogram are O(log buckets) and allocation-free.
+func (h *Histogram) cumulative() []int64 {
+	if h.cumOK && len(h.cum) == len(h.counts)+1 {
+		return h.cum
+	}
+	if cap(h.cum) < len(h.counts)+1 {
+		h.cum = make([]int64, len(h.counts)+1)
+	}
+	h.cum = h.cum[:len(h.counts)+1]
+	h.cum[0] = h.zero
+	for i, c := range h.counts {
+		h.cum[i+1] = h.cum[i] + c
+	}
+	h.cumOK = true
+	return h.cum
+}
+
+// clamp pins a bucket representative into the exact observed range, so
+// Quantile(0) is exactly Min and no quantile escapes [Min, Max].
+func (h *Histogram) clamp(v float64) float64 {
+	if v < h.min {
+		return h.min
+	}
+	if v > h.max {
+		return h.max
+	}
+	return v
+}
+
+// Quantile returns the q-quantile over all observations using the
+// nearest-rank definition: the lower edge of the bucket holding the
+// smallest observation whose cumulative frequency is >= q, clamped into
+// [Min, Max]. The result underestimates the true nearest-rank sample by a
+// relative error < 2^-(bits-1) (0.79% at default precision); q >= 1 returns
+// the exact Max, so a single planted outlier always surfaces. q is clamped
+// into [0, 1]; a NaN q returns NaN; an empty histogram returns 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	if math.IsNaN(q) {
 		return math.NaN()
 	}
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -141,38 +312,79 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	s := append([]float64(nil), h.samples...)
-	sort.Float64s(s)
-	idx := int(math.Ceil(q*float64(len(s)))) - 1
-	if idx < 0 {
-		idx = 0
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(s) {
-		idx = len(s) - 1
+	if rank >= h.count {
+		return h.max
 	}
-	return s[idx]
-}
-
-// CDFAt returns the fraction of retained samples <= x.
-func (h *Histogram) CDFAt(x float64) float64 {
-	if len(h.samples) == 0 {
-		return 0
+	cum := h.cumulative()
+	if rank <= cum[0] {
+		return h.clamp(0)
 	}
-	n := 0
-	for _, v := range h.samples {
-		if v <= x {
-			n++
+	// Smallest bucket i (1-based in cum) with cum[i] >= rank.
+	lo, hi := 1, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] >= rank {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	return float64(n) / float64(len(h.samples))
+	return h.clamp(h.bucketLow(h.base + lo - 1))
 }
 
-// Samples returns the retained samples (shared slice; do not mutate).
-// The histogram never rewrites elements already handed out — later
-// observations only append past the returned length, and decimation
-// rebuilds into a fresh slice — so a held slice stays valid across
-// further Observe calls.
-func (h *Histogram) Samples() []float64 { return h.samples }
+// CDFAt returns the fraction of observations <= x, resolved at bucket
+// granularity: the bucket containing x counts fully, so the result may
+// overestimate by at most the bucket's mass (relative width < 2^-(bits-1)).
+// A NaN x returns NaN (matching Quantile's NaN contract); an empty
+// histogram returns 0; x < 0 returns 0 (sub-zero observations are pooled
+// in the zero bucket and cannot be resolved below it).
+func (h *Histogram) CDFAt(x float64) float64 {
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
+	if h.count == 0 {
+		return 0
+	}
+	if x < 0 {
+		return 0
+	}
+	cum := h.cumulative()
+	u := x * valueUnits
+	if u > maxUnits {
+		u = maxUnits
+	}
+	j := h.bucketIndex(u) - h.base
+	if j < 0 {
+		return float64(cum[0]) / float64(h.count)
+	}
+	if j >= len(h.counts) {
+		j = len(h.counts) - 1
+	}
+	return float64(cum[j+1]) / float64(h.count)
+}
+
+// Samples synthesizes a sorted expansion of the histogram: each bucket's
+// lower-edge representative repeated once per observation (the zero bucket
+// expands to 0s). It allocates O(Count) — prefer Merge to combine
+// histograms and Quantile/CDFAt to read them; Samples exists for
+// compatibility with callers that iterate raw values.
+func (h *Histogram) Samples() []float64 {
+	out := make([]float64, 0, h.count)
+	for i := int64(0); i < h.zero; i++ {
+		out = append(out, 0)
+	}
+	for i, c := range h.counts {
+		v := h.bucketLow(h.base + i)
+		for ; c > 0; c-- {
+			out = append(out, v)
+		}
+	}
+	return out
+}
 
 // Throughput expresses a count over a duration in events per second.
 type Throughput struct {

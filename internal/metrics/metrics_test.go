@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -26,10 +27,26 @@ func TestHistogramBasicStats(t *testing.T) {
 	}
 }
 
-func TestHistogramEmpty(t *testing.T) {
+// TestHistogramEmptyContract pins the unified empty-histogram contract:
+// every accessor reads as 0 on an empty histogram (the ±Inf min/max
+// sentinels are internal state only), and NaN arguments return NaN from
+// both Quantile and CDFAt.
+func TestHistogramEmptyContract(t *testing.T) {
 	h := NewHistogram(0)
 	if h.Mean() != 0 || h.Stddev() != 0 || h.Quantile(0.5) != 0 || h.CDFAt(10) != 0 {
 		t.Fatal("empty histogram returned nonzero statistics")
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty Min/Max = %v/%v, want 0/0", h.Min(), h.Max())
+	}
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("empty Quantile(NaN) = %v, want NaN", got)
+	}
+	if got := h.CDFAt(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("empty CDFAt(NaN) = %v, want NaN", got)
+	}
+	if len(h.Samples()) != 0 {
+		t.Fatalf("empty Samples() = %v, want empty", h.Samples())
 	}
 }
 
@@ -63,57 +80,17 @@ func TestHistogramCDF(t *testing.T) {
 	if got := h.CDFAt(0); got != 0 {
 		t.Fatalf("CDF(0) = %v, want 0", got)
 	}
-}
-
-func TestHistogramDecimationKeepsExactMoments(t *testing.T) {
-	h := NewHistogram(128)
-	rng := rand.New(rand.NewSource(3))
-	var sum float64
-	n := 10_000
-	for i := 0; i < n; i++ {
-		v := rng.Float64() * 100
-		sum += v
-		h.Observe(v)
+	if got := h.CDFAt(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("CDFAt(NaN) = %v, want NaN", got)
 	}
-	if h.Count() != int64(n) {
-		t.Fatalf("count = %d, want %d", h.Count(), n)
-	}
-	if math.Abs(h.Mean()-sum/float64(n)) > 1e-9 {
-		t.Fatal("mean drifted under decimation")
-	}
-	if len(h.Samples()) > 128 {
-		t.Fatalf("retained %d samples, cap 128", len(h.Samples()))
-	}
-	// Retained samples still approximate the distribution.
-	if q := h.Quantile(0.5); q < 35 || q > 65 {
-		t.Fatalf("median after decimation = %v, want ~50", q)
+	if got := h.CDFAt(-3); got != 0 {
+		t.Fatalf("CDFAt(-3) = %v, want 0", got)
 	}
 }
 
-// TestSamplesHeldAcrossDecimation pins the aliasing fix: a slice handed out
-// by Samples() must keep its contents even when a later Observe triggers a
-// decimation (the old code rebuilt the retained set in place over the same
-// backing array, corrupting held slices).
-func TestSamplesHeldAcrossDecimation(t *testing.T) {
-	h := NewHistogram(8)
-	for i := 0; i < 8; i++ {
-		h.Observe(float64(i))
-	}
-	held := h.Samples()
-	want := append([]float64(nil), held...)
-	// Push the histogram through two more decimations.
-	for i := 8; i < 64; i++ {
-		h.Observe(float64(i))
-	}
-	for i, v := range held {
-		if v != want[i] {
-			t.Fatalf("held Samples() slice corrupted at %d: got %v, want %v (full: got %v, want %v)",
-				i, v, want[i], held, want)
-		}
-	}
-}
-
-// TestQuantileNearestRank pins the clamped nearest-rank definition.
+// TestQuantileNearestRank pins the clamped nearest-rank definition. Every
+// expectation is exact: integer observations land on sub-bucket lower
+// edges, so the bucket representative reproduces the sample bit-for-bit.
 func TestQuantileNearestRank(t *testing.T) {
 	obs := func(vals ...float64) *Histogram {
 		h := NewHistogram(0)
@@ -157,30 +134,364 @@ func TestQuantileNearestRank(t *testing.T) {
 	}
 }
 
-// TestDecimationUniformStride feeds a monotone ramp (value == observation
-// index) through several decimations and asserts the retained samples are a
-// uniform stride of the observation stream — for both even and odd caps.
-// The odd-cap case is the regression: keeping even buffer positions left
-// the incoming observation half a stride behind the last retained one.
-func TestDecimationUniformStride(t *testing.T) {
-	for _, cap := range []int{8, 9, 64, 101} {
-		h := NewHistogram(cap)
-		n := cap * 16 // >= 4 decimations
-		for i := 0; i < n; i++ {
-			h.Observe(float64(i))
+// TestHistogramMomentsExact: the HDR buckets never touch the moment
+// accumulators — count/mean/min/max stay exact regardless of volume.
+func TestHistogramMomentsExact(t *testing.T) {
+	h := NewHistogram(128)
+	rng := rand.New(rand.NewSource(3))
+	var sum float64
+	n := 10_000
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 100
+		sum += v
+		h.Observe(v)
+	}
+	if h.Count() != int64(n) {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if math.Abs(h.Mean()-sum/float64(n)) > 1e-9 {
+		t.Fatal("mean drifted")
+	}
+	if q := h.Quantile(0.5); q < 45 || q > 55 {
+		t.Fatalf("median = %v, want ~50", q)
+	}
+}
+
+// exactQuantile is the reference nearest-rank quantile over raw samples.
+func exactQuantile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// checkBoundedError asserts every probed quantile of h is within the
+// documented bound of the exact nearest-rank quantile: relative error
+// < 2^-(bits-1) for values in the relative regime, absolute error
+// < 2^-20 below it. The histogram only ever reports the *lower edge* of
+// the matched bucket clamped into [min, max], so the error is one-sided
+// (underestimate) — checked too.
+func checkBoundedError(t *testing.T, name string, h *Histogram, raw []float64, bits int) {
+	t.Helper()
+	sorted := append([]float64(nil), raw...)
+	sort.Float64s(sorted)
+	relBound := math.Ldexp(1, -(bits - 1))
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 0.9999, 1} {
+		got := h.Quantile(q)
+		want := exactQuantile(sorted, q)
+		if got > want+1e-12 {
+			t.Errorf("%s: Quantile(%v) = %v overestimates exact %v", name, q, got, want)
+			continue
 		}
-		s := h.Samples()
-		if len(s) < 3 {
-			t.Fatalf("cap %d: retained only %d samples", cap, len(s))
+		errAbs := want - got
+		if errAbs <= 1.0/valueUnits {
+			continue // absolute regime
 		}
-		first := s[1] - s[0]
-		for i := 1; i < len(s); i++ {
-			if d := s[i] - s[i-1]; d != first {
-				t.Errorf("cap %d: non-uniform stride: gap %v at %d, want %v (retained %v)",
-					cap, d, i, first, s)
-				break
+		if want > 0 && errAbs/want >= relBound {
+			t.Errorf("%s: Quantile(%v) = %v, exact %v, rel err %.5f >= bound %.5f",
+				name, q, got, want, errAbs/want, relBound)
+		}
+	}
+}
+
+// TestHistogramPropertyBoundedError exercises the documented error bound
+// against adversarial distributions: heavy-tailed Zipf, bimodal with five
+// orders of magnitude between the modes, and a uniform stream with a
+// single enormous outlier.
+func TestHistogramPropertyBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := []struct {
+		name string
+		gen  func(i int) float64
+	}{
+		{"zipf", func() func(int) float64 {
+			z := rand.NewZipf(rng, 1.2, 1, 1<<30)
+			return func(int) float64 { return float64(z.Uint64()) + 0.5 }
+		}()},
+		{"bimodal", func(i int) float64 {
+			if rng.Intn(100) < 95 {
+				return 0.01 + rng.Float64()*0.02 // fast mode ~10-30us
 			}
+			return 1000 + rng.Float64()*500 // stall mode ~1-1.5s
+		}},
+		{"single-outlier", func(i int) float64 {
+			if i == 123_456 {
+				return 9e6
+			}
+			return 1 + rng.Float64()
+		}},
+	}
+	for _, bits := range []int{6, 8, 10} {
+		for _, d := range dists {
+			h := NewHistogramPrecision(bits)
+			raw := make([]float64, 200_000)
+			for i := range raw {
+				raw[i] = d.gen(i)
+				h.Observe(raw[i])
+			}
+			checkBoundedError(t, d.name, h, raw, bits)
 		}
+	}
+}
+
+// TestPlantedOutlierSurfaces is the regression the decimating buffer
+// provably failed: in a 10M-observation stream, (a) one planted outlier
+// must survive to Quantile(1)/Max exactly (the old buffer kept ~65k strided
+// samples, so a single outlier was dropped with probability ~1 - 65k/10M ≈
+// 99.3%), and (b) a 0.011%-mass slow mode sitting just past the p99.99 rank
+// must be visible at Quantile(0.9999) within the documented 0.79% bound.
+func TestPlantedOutlierSurfaces(t *testing.T) {
+	const n = 10_000_000
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram(0)
+	const outlier = 31337.5
+	slow := 0
+	for i := 0; i < n; i++ {
+		switch {
+		case i == n/2:
+			h.Observe(outlier) // the single planted outlier
+		case rng.Intn(100_000) < 11: // ~0.011% slow mode, beyond the p99.99 rank
+			slow++
+			h.Observe(500 + rng.Float64())
+		default:
+			h.Observe(rng.Float64()) // sub-ms bulk
+		}
+	}
+	if got := h.Max(); got != outlier {
+		t.Fatalf("Max = %v, want planted outlier %v", got, outlier)
+	}
+	if got := h.Quantile(1); got != outlier {
+		t.Fatalf("Quantile(1) = %v, want planted outlier %v", got, outlier)
+	}
+	p9999 := h.Quantile(0.9999)
+	if p9999 < 500*(1-1.0/128) || p9999 > 501 {
+		t.Fatalf("p99.99 = %v, want within 0.79%% of the ~500 slow mode (%d slow obs)", p9999, slow)
+	}
+	if got := h.Count(); got != n {
+		t.Fatalf("count = %d, want %d", got, n)
+	}
+}
+
+// TestMergeMatchesSequential: merging per-shard histograms must reproduce
+// the bucket state of a single histogram that saw every observation —
+// quantiles and CDF bit-identical, count/min/max exact.
+func TestMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	whole := NewHistogram(0)
+	shards := []*Histogram{NewHistogram(0), NewHistogram(0), NewHistogram(0)}
+	for i := 0; i < 30_000; i++ {
+		v := math.Exp(rng.NormFloat64() * 3)
+		whole.Observe(v)
+		shards[i%3].Observe(v)
+	}
+	merged := NewHistogram(0)
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != whole.Count() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged count/min/max diverged: %d/%v/%v vs %d/%v/%v",
+			merged.Count(), merged.Min(), merged.Max(), whole.Count(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.9999, 1} {
+		if a, b := merged.Quantile(q), whole.Quantile(q); a != b {
+			t.Fatalf("Quantile(%v): merged %v != sequential %v", q, a, b)
+		}
+	}
+	for _, x := range []float64{0.01, 1, 100, 1e6} {
+		if a, b := merged.CDFAt(x), whole.CDFAt(x); a != b {
+			t.Fatalf("CDFAt(%v): merged %v != sequential %v", x, a, b)
+		}
+	}
+	if rel := math.Abs(merged.Mean()-whole.Mean()) / whole.Mean(); rel > 1e-12 {
+		t.Fatalf("merged mean off by %v relative", rel)
+	}
+}
+
+// TestMergeAssociative: (a⊕b)⊕c and a⊕(b⊕c) must agree on all
+// bucket-derived statistics exactly (integer bucket counts are associative)
+// and on moments up to float-addition reordering.
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	mk := func() *Histogram {
+		h := NewHistogram(0)
+		for i := 0; i < 5000; i++ {
+			h.Observe(rng.Float64() * math.Pow(10, float64(rng.Intn(6))))
+		}
+		return h
+	}
+	a1, b1, c1 := mk(), mk(), mk()
+	// Merge mutates the receiver, so run both orders on fresh copies.
+	copyOf := func(h *Histogram) *Histogram {
+		out := NewHistogram(0)
+		out.Merge(h)
+		return out
+	}
+	left := copyOf(a1)
+	left.Merge(b1)
+	left.Merge(c1)
+	bc := copyOf(b1)
+	bc.Merge(c1)
+	right := copyOf(a1)
+	right.Merge(bc)
+	if left.Count() != right.Count() || left.Min() != right.Min() || left.Max() != right.Max() {
+		t.Fatal("associativity broke count/min/max")
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 0.9999, 1} {
+		if x, y := left.Quantile(q), right.Quantile(q); x != y {
+			t.Fatalf("Quantile(%v): (a+b)+c = %v, a+(b+c) = %v", q, x, y)
+		}
+	}
+	if rel := math.Abs(left.Mean()-right.Mean()) / left.Mean(); rel > 1e-12 {
+		t.Fatalf("associative merge mean off by %v relative", rel)
+	}
+}
+
+// TestMergeMixedPrecision: merging across precisions re-buckets by
+// representative — counts stay exact, values within the coarser bound.
+func TestMergeMixedPrecision(t *testing.T) {
+	coarse := NewHistogramPrecision(6)
+	fine := NewHistogramPrecision(10)
+	for i := 1; i <= 1000; i++ {
+		coarse.Observe(float64(i))
+		fine.Observe(float64(i) + 1000)
+	}
+	coarse.Merge(fine)
+	if coarse.Count() != 2000 {
+		t.Fatalf("count = %d, want 2000", coarse.Count())
+	}
+	if coarse.Min() != 1 || coarse.Max() != 2000 {
+		t.Fatalf("min/max = %v/%v, want 1/2000", coarse.Min(), coarse.Max())
+	}
+	med := coarse.Quantile(0.5)
+	if med < 1000*(1-1.0/32) || med > 1000 {
+		t.Fatalf("median = %v, want within 2^-5 of 1000", med)
+	}
+}
+
+// TestQuantileCachedAndAllocFree pins the satellite fix for the
+// sort-per-call Quantile: repeated reads on an unchanged histogram are
+// byte-identical and allocation-free, and an Observe invalidates the cache
+// so the next read sees the new observation.
+func TestQuantileCachedAndAllocFree(t *testing.T) {
+	h := NewHistogram(0)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100_000; i++ {
+		h.Observe(rng.ExpFloat64() * 10)
+	}
+	first := h.Quantile(0.99)
+	for i := 0; i < 10; i++ {
+		if got := h.Quantile(0.99); math.Float64bits(got) != math.Float64bits(first) {
+			t.Fatalf("repeated Quantile drifted: %v vs %v", got, first)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = h.Quantile(0.99)
+		_ = h.CDFAt(5)
+	}); allocs != 0 {
+		t.Fatalf("Quantile/CDFAt on warm cache allocated %v times per run", allocs)
+	}
+	// Invalidation: a new maximum must show up at Quantile(1) immediately.
+	h.Observe(1e9)
+	if got := h.Quantile(1); got != 1e9 {
+		t.Fatalf("Quantile(1) after Observe = %v, want 1e9 (stale cache?)", got)
+	}
+}
+
+// TestZeroAndNegativeObservations: values <= 0 pool in the zero bucket;
+// quantile ranks covered by it clamp into the exact [min, max] range.
+func TestZeroAndNegativeObservations(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Quantile(0.25); got != 0 {
+		t.Fatalf("Quantile(0.25) = %v, want 0", got)
+	}
+	if got := h.CDFAt(0); got != 0.5 {
+		t.Fatalf("CDFAt(0) = %v, want 0.5", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("Quantile(1) = %v, want 10", got)
+	}
+	neg := NewHistogram(0)
+	neg.Observe(-5)
+	neg.Observe(-1)
+	if neg.Min() != -5 || neg.Max() != -1 {
+		t.Fatalf("negative min/max = %v/%v", neg.Min(), neg.Max())
+	}
+	// Negatives collapse into the zero bucket: the representative clamps to
+	// the exact observed range.
+	if got := neg.Quantile(0.5); got != -1 {
+		t.Fatalf("all-negative Quantile(0.5) = %v, want clamp to max -1", got)
+	}
+}
+
+// TestSamplesExpansion: Samples() synthesizes a sorted count-faithful
+// expansion (representatives, not raw values).
+func TestSamplesExpansion(t *testing.T) {
+	h := NewHistogram(0)
+	vals := []float64{5, 1, 0, 3, 3}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	s := h.Samples()
+	if len(s) != len(vals) {
+		t.Fatalf("len(Samples) = %d, want %d", len(s), len(vals))
+	}
+	if !sort.Float64sAreSorted(s) {
+		t.Fatalf("Samples not sorted: %v", s)
+	}
+	want := []float64{0, 1, 3, 3, 5} // integers land on exact bucket edges
+	for i, v := range s {
+		if v != want[i] {
+			t.Fatalf("Samples[%d] = %v, want %v (full %v)", i, v, want[i], s)
+		}
+	}
+}
+
+func TestHistogramPrecisionClamp(t *testing.T) {
+	if h := NewHistogramPrecision(0); h.bits != defaultBits {
+		t.Fatalf("bits(0) = %d, want default %d", h.bits, defaultBits)
+	}
+	if h := NewHistogramPrecision(1); h.bits != minBits {
+		t.Fatalf("bits(1) = %d, want clamp %d", h.bits, minBits)
+	}
+	if h := NewHistogramPrecision(99); h.bits != maxBits {
+		t.Fatalf("bits(99) = %d, want clamp %d", h.bits, maxBits)
+	}
+}
+
+// TestBucketRoundTrip: bucketLow must be the exact inverse lower edge of
+// bucketIndex across the linear and exponential regimes — every bucket's
+// own lower edge re-buckets to itself.
+func TestBucketRoundTrip(t *testing.T) {
+	h := NewHistogramPrecision(8)
+	for idx := 0; idx < 6000; idx++ {
+		low := h.bucketLow(idx)
+		u := low * valueUnits
+		if u == 0 {
+			continue
+		}
+		if got := h.bucketIndex(u); got != idx {
+			t.Fatalf("bucketIndex(bucketLow(%d)) = %d", idx, got)
+		}
+	}
+	// Saturation: enormous values must not index past the top bucket.
+	hugeIdx := h.bucketIndex(maxUnits)
+	h.Observe(1e300)
+	topIdx := h.base + len(h.counts) - 1
+	if h.counts[len(h.counts)-1] == 0 || topIdx > hugeIdx {
+		t.Fatalf("saturating observation escaped the top bucket (top %d, cap %d)", topIdx, hugeIdx)
+	}
+	if h.Max() != 1e300 {
+		t.Fatal("saturating observation lost exact max")
 	}
 }
 
@@ -199,6 +510,39 @@ func TestHistogramPropertyMeanWithinRange(t *testing.T) {
 			return true
 		}
 		return h.Mean() >= h.Min()-1e-9 && h.Mean() <= h.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramPropertyQuantileMonotone: quantiles are monotone in q and
+// confined to [Min, Max] for arbitrary observation sets.
+func TestHistogramPropertyQuantileMonotone(t *testing.T) {
+	f := func(vals []float64, qs []float64) bool {
+		h := NewHistogram(0)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			h.Observe(v)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		sort.Float64s(qs)
+		prev := math.Inf(-1)
+		for _, q := range qs {
+			if math.IsNaN(q) {
+				continue
+			}
+			v := h.Quantile(q)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"streamscale/internal/hw"
 	"streamscale/internal/profiler"
 	"streamscale/internal/sim"
 )
@@ -149,9 +150,13 @@ func (t *Tracer) FoldedTotal() sim.Cycles {
 	return total
 }
 
+// summaryTailCount bounds the per-root tail digest in summary.json.
+const summaryTailCount = 5
+
 // EncodeSummary writes a small JSON digest: run identity, sampling
-// configuration, event counts, and the lossless-reconciliation pair
-// (folded_cycles vs charged_cycles).
+// configuration, event counts, the lossless-reconciliation pair
+// (folded_cycles vs charged_cycles), and the worst sampled tuple trees
+// with their folded causal accounts (see TailRecord).
 func (t *Tracer) EncodeSummary(w io.Writer) error {
 	bw := &errWriter{w: w}
 	folded := t.FoldedTotal()
@@ -167,12 +172,33 @@ func (t *Tracer) EncodeSummary(w io.Writer) error {
   "trace_events": %d,
   "charged_cycles": %d,
   "folded_cycles": %d,
-  "lossless": %t
-}
-`, quote(t.app), quote(t.system), t.clockHz,
+  "lossless": %t,
+  "tails": [`, quote(t.app), quote(t.system), t.clockHz,
 		t.cfg.SampleEvery, int64(t.cfg.QueueCadence),
 		t.sampleCount, t.spanCount, t.sliceCount, len(t.events),
 		int64(t.charged), int64(folded), folded == t.charged)
+	for i, rec := range t.Tails(summaryTailCount) {
+		if i > 0 {
+			bw.str(",")
+		}
+		dom, domCycles := rec.Dominant()
+		fmt.Fprintf(bw, `
+    {"root":%d,"e2e_cycles":%d,"sink_op":%s,"dominant":%s,"dominant_cycles":%d,"queue_wait_cycles":%d,"deliver_cycles":%d,"exec_spans":%d,"buckets":{`,
+			rec.Root, rec.E2ECycles, quote(rec.SinkOp), quote(dom), domCycles,
+			rec.QueueWait, rec.Deliver, rec.Spans)
+		first := true
+		for bk := hw.Bucket(0); bk < hw.NumBuckets; bk++ {
+			if c := int64(rec.Buckets[bk]); c != 0 {
+				if !first {
+					bw.str(",")
+				}
+				first = false
+				fmt.Fprintf(bw, `%s:%d`, quote(bk.String()), c)
+			}
+		}
+		bw.str("}}")
+	}
+	bw.str("\n  ]\n}\n")
 	return bw.err
 }
 
@@ -199,16 +225,30 @@ func (e *errWriter) str(s string) {
 
 // Summary is the parsed form of summary.json, used by cmd/dsptrace.
 type Summary struct {
-	App           string `json:"app"`
-	System        string `json:"system"`
-	ClockHz       int64  `json:"clock_hz"`
-	SampleEvery   int    `json:"sample_every"`
-	QueueCadence  int64  `json:"queue_cadence_cycles"`
-	SampledRoots  int64  `json:"sampled_roots"`
-	SpanEvents    int64  `json:"span_events"`
-	SchedSlices   int64  `json:"sched_slices"`
-	TraceEvents   int64  `json:"trace_events"`
-	ChargedCycles int64  `json:"charged_cycles"`
-	FoldedCycles  int64  `json:"folded_cycles"`
-	Lossless      bool   `json:"lossless"`
+	App           string        `json:"app"`
+	System        string        `json:"system"`
+	ClockHz       int64         `json:"clock_hz"`
+	SampleEvery   int           `json:"sample_every"`
+	QueueCadence  int64         `json:"queue_cadence_cycles"`
+	SampledRoots  int64         `json:"sampled_roots"`
+	SpanEvents    int64         `json:"span_events"`
+	SchedSlices   int64         `json:"sched_slices"`
+	TraceEvents   int64         `json:"trace_events"`
+	ChargedCycles int64         `json:"charged_cycles"`
+	FoldedCycles  int64         `json:"folded_cycles"`
+	Lossless      bool          `json:"lossless"`
+	Tails         []SummaryTail `json:"tails"`
+}
+
+// SummaryTail is one entry of the summary's worst-tuple digest.
+type SummaryTail struct {
+	Root           int64            `json:"root"`
+	E2ECycles      int64            `json:"e2e_cycles"`
+	SinkOp         string           `json:"sink_op"`
+	Dominant       string           `json:"dominant"`
+	DominantCycles int64            `json:"dominant_cycles"`
+	QueueWait      int64            `json:"queue_wait_cycles"`
+	Deliver        int64            `json:"deliver_cycles"`
+	ExecSpans      int              `json:"exec_spans"`
+	Buckets        map[string]int64 `json:"buckets"`
 }

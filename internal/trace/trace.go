@@ -25,6 +25,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -77,6 +78,49 @@ type OpCost struct {
 	Costs hw.CostVec
 }
 
+// TailRecord aggregates one sampled tuple tree's causal-path account: the
+// same deltas the span events carry, folded per root so the tail experiment
+// can name the stall that put a tuple in the tail. Buckets accumulates the
+// execute spans' per-bucket charge-path deltas over the whole tree;
+// QueueWait and Deliver accumulate queue sojourn and emission→enqueue
+// residency. Invocation overhead is batch-shared and deliberately excluded
+// — per-root attribution covers only charges causally tied to the tree.
+type TailRecord struct {
+	Root      int64
+	E2ECycles int64 // worst sink arrival for the tree (intended-arrival based under SourceRate)
+	SinkOp    string
+	Buckets   hw.CostVec
+	QueueWait int64
+	Deliver   int64
+	Spans     int // execute spans folded in
+}
+
+// Dominant names the single largest component of the record's account:
+// a hw bucket name, "queue-wait", or "deliver". Ties resolve in fixed
+// bucket order (then queue-wait, then deliver), so the answer is
+// deterministic across runs.
+func (r *TailRecord) Dominant() (string, int64) {
+	name, best := "", int64(-1)
+	for bk := hw.Bucket(0); bk < hw.NumBuckets; bk++ {
+		if c := int64(r.Buckets[bk]); c > best {
+			name, best = bk.String(), c
+		}
+	}
+	if r.QueueWait > best {
+		name, best = "queue-wait", r.QueueWait
+	}
+	if r.Deliver > best {
+		name, best = "deliver", r.Deliver
+	}
+	return name, best
+}
+
+// AttributedCycles is the total causally-attributed cycle account of the
+// tree: execute-span bucket charges plus queue and delivery residency.
+func (r *TailRecord) AttributedCycles() int64 {
+	return int64(r.Buckets.Total()) + r.QueueWait + r.Deliver
+}
+
 // Tracer accumulates trace streams for one simulated run. It is not safe
 // for concurrent use: like the kernel that feeds it, it belongs to a single
 // simulation goroutine.
@@ -100,6 +144,9 @@ type Tracer struct {
 
 	events []event
 
+	// tails folds the span deltas per sampled root (see TailRecord).
+	tails map[int64]*TailRecord
+
 	// Thread-name metadata for the span and executor tracks, keyed by tid.
 	names     map[int32]string
 	nameOrder []int32
@@ -116,6 +163,7 @@ func New(cfg Config) *Tracer {
 	return &Tracer{
 		cfg:     cfg,
 		sampled: make(map[int64]bool),
+		tails:   make(map[int64]*TailRecord),
 		names:   make(map[int32]string),
 	}
 }
@@ -123,6 +171,10 @@ func New(cfg Config) *Tracer {
 // QueueCadence returns the configured queue-depth sampling period
 // (non-positive = disabled).
 func (t *Tracer) QueueCadence() sim.Cycles { return t.cfg.QueueCadence }
+
+// ClockHz returns the traced machine's clock, for cycle-to-wallclock
+// conversion of the per-root tail accounts (0 before Begin).
+func (t *Tracer) ClockHz() int64 { return t.clockHz }
 
 // Begin records the run identity. The engine calls it once before the
 // simulation starts.
@@ -186,6 +238,7 @@ func (t *Tracer) QueueWait(exec int, fromOp, toOp string, root int64, enqueued, 
 		popped = enqueued
 	}
 	t.spanCount++
+	t.tail(root).QueueWait += int64(popped - enqueued)
 	id := t.nextAsync()
 	args := fmt.Sprintf(`{"root":%d,"from":%s,"to":%s,"cycles":%d}`,
 		root, quote(fromOp), quote(toOp), int64(popped-enqueued))
@@ -200,6 +253,11 @@ func (t *Tracer) QueueWait(exec int, fromOp, toOp string, root int64, enqueued, 
 // links the tuple's hops into one chain.
 func (t *Tracer) Execute(exec int, op string, root int64, start, dur sim.Cycles, before, after hw.CostVec) {
 	t.spanCount++
+	rec := t.tail(root)
+	rec.Spans++
+	for bk := hw.Bucket(0); bk < hw.NumBuckets; bk++ {
+		rec.Buckets.Add(bk, after[bk]-before[bk])
+	}
 	t.events = append(t.events, event{
 		ph: 'X', name: "execute", cat: "span", pid: pidSpans, tid: int32(exec),
 		ts: start, dur: dur, id: -1,
@@ -224,6 +282,7 @@ func (t *Tracer) Deliver(exec int, fromOp, toOp string, root int64, emitAt, enqu
 		enqueueAt = emitAt
 	}
 	t.spanCount++
+	t.tail(root).Deliver += int64(enqueueAt - emitAt)
 	id := t.nextAsync()
 	args := fmt.Sprintf(`{"root":%d,"from":%s,"to":%s,"cycles":%d,"xsocket":%t}`,
 		root, quote(fromOp), quote(toOp), int64(enqueueAt-emitAt), fromSocket != toSocket)
@@ -250,6 +309,12 @@ func (t *Tracer) Barrier(exec int, op string, barrierID int64, at sim.Cycles) {
 // Sink records a sampled tuple's arrival at a sink: the end of its flow
 // chain, with the end-to-end latency in cycles.
 func (t *Tracer) Sink(exec int, op string, root int64, at, e2e sim.Cycles) {
+	if rec := t.tail(root); int64(e2e) >= rec.E2ECycles {
+		// A tree can reach sinks many times (e.g. one count per word);
+		// the tree's tail latency is its *worst* sink arrival.
+		rec.E2ECycles = int64(e2e)
+		rec.SinkOp = op
+	}
 	t.events = append(t.events,
 		event{ph: 'i', name: "sink", cat: "span", pid: pidSpans, tid: int32(exec), ts: at, id: -1,
 			args: fmt.Sprintf(`{"op":%s,"root":%d,"e2e_cycles":%d}`, quote(op), root, int64(e2e))},
@@ -286,6 +351,43 @@ func (t *Tracer) Finish(charged sim.Cycles, ops []OpCost) {
 
 // SampledRoots returns how many tuple trees were sampled.
 func (t *Tracer) SampledRoots() int64 { return t.sampleCount }
+
+// tail returns (creating on first touch) the root's tail record. A zero
+// root is the shared "unanchored" record — callers filter it out of tail
+// rankings.
+func (t *Tracer) tail(root int64) *TailRecord {
+	rec := t.tails[root]
+	if rec == nil {
+		rec = &TailRecord{Root: root}
+		t.tails[root] = rec
+	}
+	return rec
+}
+
+// Tails returns the k worst sampled tuple trees by end-to-end latency
+// (all of them for k <= 0), sorted by descending E2ECycles with the root
+// id as a deterministic tie-break. Unanchored spans (root 0) and trees
+// that never reached a sink are excluded.
+func (t *Tracer) Tails(k int) []TailRecord {
+	out := make([]TailRecord, 0, len(t.tails))
+	//dsplint:ignore maporder the full sort below has a total order (E2ECycles desc, Root asc), so collection order cannot leak
+	for root, rec := range t.tails {
+		if root == 0 || rec.SinkOp == "" {
+			continue
+		}
+		out = append(out, *rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].E2ECycles != out[j].E2ECycles {
+			return out[i].E2ECycles > out[j].E2ECycles
+		}
+		return out[i].Root < out[j].Root
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
 
 func (t *Tracer) nextAsync() int64 {
 	t.asyncSeq++
